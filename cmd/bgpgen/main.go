@@ -1,0 +1,95 @@
+// Command bgpgen simulates an Intrepid-like Blue Gene/P campaign and
+// writes the two logs the co-analysis consumes: a RAS event log and a
+// Cobalt-style job log, in this module's line formats.
+//
+// Usage:
+//
+//	bgpgen -seed 1 -days 237 -noise 62 -ras ras.log -job job.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+	"repro/internal/simulate"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bgpgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed  = fs.Int64("seed", 1, "campaign seed (identical seeds give identical logs)")
+		days  = fs.Int("days", 237, "campaign length in days")
+		noise = fs.Float64("noise", 62, "non-fatal records emitted per fatal record")
+		rasP  = fs.String("ras", "ras.log", "RAS log output path")
+		jobP  = fs.String("job", "job.log", "job log output path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	camp, err := simulate.Run(simulate.Config{Seed: *seed, Days: *days, NoisePerFatal: *noise})
+	if err != nil {
+		return err
+	}
+	if err := writeRAS(*rasP, camp); err != nil {
+		return err
+	}
+	if err := writeJobs(*jobP, camp); err != nil {
+		return err
+	}
+	distinct, resub := camp.Jobs.DistinctExecutables()
+	fmt.Fprintf(stderr,
+		"wrote %s (%d records, %d FATAL) and %s (%d jobs, %d distinct, %d resubmitted)\n",
+		*rasP, camp.RAS.Len(), len(camp.RAS.Fatal()), *jobP, camp.Jobs.Len(), distinct, resub)
+	return nil
+}
+
+func writeRAS(path string, camp *simulate.Campaign) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := raslog.NewWriter(f)
+	for _, rec := range camp.RAS.All() {
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeJobs(path string, camp *simulate.Campaign) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := joblog.NewWriter(f)
+	for _, j := range camp.Jobs.All() {
+		if err := w.Write(j); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestRunWritesAnalyzableLogs(t *testing.T) {
+	dir := t.TempDir()
+	rasP := filepath.Join(dir, "ras.log")
+	jobP := filepath.Join(dir, "job.log")
+	var stderr strings.Builder
+	err := run([]string{"-seed", "3", "-days", "10", "-noise", "1",
+		"-ras", rasP, "-job", jobP}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "wrote") {
+		t.Errorf("missing summary line: %q", stderr.String())
+	}
+	// The produced files must round-trip through the public loader.
+	rf, err := os.Open(rasP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	jf, err := os.Open(jobP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	rep, err := repro.Load(repro.DefaultConfig(0), rf, jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs().Len() == 0 || rep.RAS().Len() == 0 {
+		t.Error("loaded empty logs")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stderr strings.Builder
+	if err := run([]string{"-days", "abc"}, &stderr); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-days", "0"}, &stderr); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestRunFailsOnUnwritablePath(t *testing.T) {
+	var stderr strings.Builder
+	err := run([]string{"-days", "7", "-noise", "0",
+		"-ras", "/nonexistent-dir/ras.log", "-job", "/nonexistent-dir/job.log"}, &stderr)
+	if err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

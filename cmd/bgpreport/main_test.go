@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSummaryOnly(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-days", "14", "-summary"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Paper vs measured") {
+		t.Error("missing summary header")
+	}
+	if strings.Contains(s, "Table I:") {
+		t.Error("-summary still rendered artifacts")
+	}
+	for _, want := range []string{"same-location resubmissions", "Weibull shape", "Obs 11"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestRunFullReport(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-days", "14"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Table I:", "Figure 7:", "Paper vs measured"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunQuickFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// -quick overrides -days with the quick configuration; it must still
+	// complete and include the summary.
+	if err := run([]string{"-quick", "-summary", "-seed", "2"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "measured:") {
+		t.Error("missing measured values")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-days", "x"}, &out, &errOut); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-days", "0", "-summary"}, &out, &errOut); err == nil {
+		t.Error("zero days accepted")
+	}
+}

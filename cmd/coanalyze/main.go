@@ -1,0 +1,101 @@
+// Command coanalyze runs the paper's co-analysis methodology over a
+// RAS log and a job log (in this module's line formats, e.g. produced
+// by bgpgen) and prints the requested artifacts.
+//
+// Usage:
+//
+//	coanalyze -ras ras.log -job job.log              # everything
+//	coanalyze -ras ras.log -job job.log -artifact t4 # Table IV only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+)
+
+var artifacts = map[string]func(*repro.Report, io.Writer) error{
+	"t1":       (*repro.Report).RenderTableI,
+	"t2":       (*repro.Report).RenderTableII,
+	"t3":       (*repro.Report).RenderTableIII,
+	"pipeline": (*repro.Report).RenderPipeline,
+	"obs1":     (*repro.Report).RenderIdentification,
+	"obs2":     (*repro.Report).RenderClassification,
+	"obs3":     (*repro.Report).RenderJobFilter,
+	"f2":       (*repro.Report).RenderFigure2,
+	"f3":       (*repro.Report).RenderFigure3,
+	"t4":       (*repro.Report).RenderTableIV,
+	"f4":       (*repro.Report).RenderFigure4,
+	"f5":       (*repro.Report).RenderFigure5,
+	"f6":       (*repro.Report).RenderFigure6,
+	"t5":       (*repro.Report).RenderTableV,
+	"obs8":     (*repro.Report).RenderPropagation,
+	"f7":       (*repro.Report).RenderFigure7,
+	"t6":       (*repro.Report).RenderTableVI,
+	"features": (*repro.Report).RenderFeatures,
+	"predict":  (*repro.Report).RenderPrediction,
+	"ckpt":     (*repro.Report).RenderCheckpointStudy,
+	"types":    (*repro.Report).RenderEventTypes,
+	"models":   (*repro.Report).RenderModelComparison,
+	"sweep":    (*repro.Report).RenderSensitivity,
+	"mpfits":   (*repro.Report).RenderMidplaneFits,
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "coanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rasP     = fs.String("ras", "ras.log", "RAS log path")
+		jobP     = fs.String("job", "job.log", "job log path")
+		artifact = fs.String("artifact", "all", "artifact to print: all, or one of "+keys())
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rf, err := os.Open(*rasP)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	jf, err := os.Open(*jobP)
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+
+	rep, err := repro.Load(repro.DefaultConfig(0), rf, jf)
+	if err != nil {
+		return err
+	}
+
+	if *artifact == "all" {
+		return rep.RenderAll(stdout)
+	}
+	render, ok := artifacts[*artifact]
+	if !ok {
+		return fmt.Errorf("unknown artifact %q; want all or one of %s", *artifact, keys())
+	}
+	return render(rep, stdout)
+}
+
+func keys() string {
+	out := make([]string, 0, len(artifacts))
+	for k := range artifacts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}

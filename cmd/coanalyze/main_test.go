@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+	"repro/internal/simulate"
+)
+
+// writeFixtureLogs produces small log files once per test binary.
+func writeFixtureLogs(t *testing.T) (rasP, jobP string) {
+	t.Helper()
+	dir := t.TempDir()
+	rasP = filepath.Join(dir, "ras.log")
+	jobP = filepath.Join(dir, "job.log")
+	camp, err := simulate.Run(simulate.Config{Seed: 5, Days: 10, NoisePerFatal: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Create(rasP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := raslog.NewWriter(rf)
+	for _, rec := range camp.RAS.All() {
+		if err := rw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	jf, err := os.Create(jobP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw := joblog.NewWriter(jf)
+	for _, j := range camp.Jobs.All() {
+		if err := jw.Write(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	return rasP, jobP
+}
+
+func TestRunSingleArtifact(t *testing.T) {
+	rasP, jobP := writeFixtureLogs(t)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-ras", rasP, "-job", jobP, "-artifact", "t6"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table VI") {
+		t.Errorf("missing Table VI in output")
+	}
+	if strings.Contains(out.String(), "Table IV") {
+		t.Errorf("unrequested artifact rendered")
+	}
+}
+
+func TestRunAllArtifacts(t *testing.T) {
+	rasP, jobP := writeFixtureLogs(t)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-ras", rasP, "-job", jobP}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table I:", "Table VI:", "Figure 7:", "Extension:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("all-artifacts output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	rasP, jobP := writeFixtureLogs(t)
+	var out, errOut bytes.Buffer
+	err := run([]string{"-ras", rasP, "-job", jobP, "-artifact", "bogus"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "unknown artifact") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunMissingFiles(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-ras", "/no/such.log", "-job", "/no/such2.log"}, &out, &errOut); err == nil {
+		t.Error("missing files accepted")
+	}
+}
+
+func TestKeysSortedAndComplete(t *testing.T) {
+	ks := keys()
+	if !strings.Contains(ks, "t4") || !strings.Contains(ks, "predict") {
+		t.Errorf("keys = %q", ks)
+	}
+	parts := strings.Split(ks, ", ")
+	if len(parts) != len(artifacts) {
+		t.Errorf("keys lists %d, artifacts has %d", len(parts), len(artifacts))
+	}
+	for i := 1; i < len(parts); i++ {
+		if parts[i-1] >= parts[i] {
+			t.Errorf("keys not sorted at %q >= %q", parts[i-1], parts[i])
+		}
+	}
+}

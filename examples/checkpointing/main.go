@@ -1,0 +1,80 @@
+// Checkpointing advisor: the paper's §VII recommends checkpoint
+// policies informed by co-analysis. This example fits the failure
+// model from a simulated campaign and derives:
+//
+//  1. Young's optimal checkpoint interval sqrt(2 * delta * MTBF) under
+//     the exponential assumption, for several checkpoint costs;
+//
+//  2. how the Weibull fit (decreasing hazard) changes the picture: the
+//     conditional failure probability over the next hour as a function
+//     of time since the previous failure;
+//
+//  3. the paper's Obs. 9/11 advice: jobs with application-error history
+//     should delay their first checkpoint past the first hour, where
+//     application errors concentrate.
+//
+//     go run ./examples/checkpointing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	rep, err := repro.Run(repro.QuickConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fc, err := rep.Analysis().FailureCharacteristics()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := fc.After.Weibull
+	mtbf := w.Mean()
+	fmt.Printf("fitted failure model (after job-related filtering): Weibull shape %.3f scale %.0f s\n",
+		w.Shape, w.Scale)
+	fmt.Printf("MTBF %.1f h; exponential would assume a flat hazard of %.3g /s\n\n",
+		mtbf/3600, 1/mtbf)
+
+	fmt.Println("Young's optimal checkpoint interval (exponential assumption):")
+	for _, deltaMin := range []float64{1, 5, 15, 30} {
+		delta := deltaMin * 60
+		opt := math.Sqrt(2 * delta * mtbf)
+		fmt.Printf("  checkpoint cost %5.1f min -> interval %6.1f min\n", deltaMin, opt/60)
+	}
+	fmt.Println()
+
+	fmt.Println("Weibull reality check: P(failure in next hour | time since last failure)")
+	for _, sinceH := range []float64{0.1, 1, 6, 24, 72} {
+		t := sinceH * 3600
+		p := condFailProb(w.CDF, t, 3600)
+		fmt.Printf("  %6.1f h since last failure -> %.3f%%\n", sinceH, 100*p)
+	}
+	fmt.Println("  (decreasing hazard: the longer the system has been quiet, the safer the next hour —")
+	fmt.Println("   fixed-interval checkpointing over-checkpoints in quiet periods)")
+	fmt.Println()
+
+	s := rep.Summary()
+	fmt.Println("co-analysis advice (paper §VII):")
+	fmt.Printf("  - %.0f%% of application-error interruptions strike within the first hour (Obs. 11):\n",
+		100*s.EarlyAppFraction)
+	fmt.Println("    for jobs with application-error history, do not checkpoint before the code has")
+	fmt.Println("    survived its first hour — the work would be lost to a resubmit-and-fix cycle anyway.")
+	fmt.Printf("  - resubmission after a system-failure interruption carries %.0f%%/%.0f%% risk at k=1/k=2\n",
+		100*s.ResubRiskSystemK1, 100*s.ResubRiskSystemK2)
+	fmt.Println("    (Fig. 7): checkpoint resubmitted jobs aggressively, or steer them off the failed partition.")
+}
+
+// condFailProb returns P(T <= t+dt | T > t) for a CDF.
+func condFailProb(cdf func(float64) float64, t, dt float64) float64 {
+	s := 1 - cdf(t)
+	if s <= 0 {
+		return 1
+	}
+	return (cdf(t+dt) - cdf(t)) / s
+}

@@ -1,0 +1,113 @@
+// Log pipeline: generate the two logs to disk with bgpgen-equivalent
+// code, then read them back and run the analysis exactly as an operator
+// with real log files would — demonstrating the streaming readers and
+// writers and the filtering cascade stage by stage.
+//
+//	go run ./examples/logpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/filter"
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+	"repro/internal/simulate"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bgp-logs-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	rasPath := filepath.Join(dir, "ras.log")
+	jobPath := filepath.Join(dir, "job.log")
+
+	// 1. Simulate a short campaign and write both logs to disk.
+	camp, err := simulate.Run(simulate.Config{Seed: 7, Days: 30, NoisePerFatal: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeLogs(camp, rasPath, jobPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s and %s\n", rasPath, jobPath)
+
+	// 2. Stream the RAS log back and run the filtering cascade stage by
+	// stage, showing the compression each stage buys.
+	rf, err := os.Open(rasPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := raslog.NewReader(rf).ReadAll()
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := raslog.NewStore(recs)
+	fatal := store.Fatal()
+	fmt.Printf("\nread back %d records; %d FATAL\n", store.Len(), len(fatal))
+
+	cfg := filter.DefaultConfig()
+	t := filter.Temporal(cfg.TemporalWindow, fatal)
+	s := filter.Spatial(cfg.SpatialWindow, t)
+	rules := filter.MineCausality(cfg, s)
+	c := filter.Causality(cfg.CausalityWindow, rules, s)
+	fmt.Printf("temporal:  %6d -> %5d (same location+code storms collapsed)\n", len(fatal), len(t))
+	fmt.Printf("spatial:   %6d -> %5d (parallel-job fan-out collapsed)\n", len(t), len(s))
+	fmt.Printf("causality: %6d -> %5d (%d mined rules)\n", len(s), len(c), len(rules))
+
+	// 3. Feed both files to the public API, as cmd/coanalyze does.
+	rf, err = os.Open(rasPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	jf, err := os.Open(jobPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer jf.Close()
+	rep, err := repro.Load(repro.DefaultConfig(0), rf, jf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := rep.Summary()
+	fmt.Printf("\nco-analysis over the files: %d events, %d interruptions, job-filter removed %d\n",
+		sum.EventsAfterFiltering, sum.Interruptions, sum.JobRedundantRemoved)
+}
+
+func writeLogs(camp *simulate.Campaign, rasPath, jobPath string) error {
+	rf, err := os.Create(rasPath)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	rw := raslog.NewWriter(rf)
+	for _, rec := range camp.RAS.All() {
+		if err := rw.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		return err
+	}
+
+	jf, err := os.Create(jobPath)
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	jw := joblog.NewWriter(jf)
+	for _, j := range camp.Jobs.All() {
+		if err := jw.Write(j); err != nil {
+			return err
+		}
+	}
+	return jw.Flush()
+}

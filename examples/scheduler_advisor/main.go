@@ -1,0 +1,112 @@
+// Scheduler advisor: the paper's §VII argues the job scheduler should
+// subscribe to failure-related information. This example turns a
+// co-analysis into the two feeds the paper asks for:
+//
+//  1. fatal-event intelligence — which ERRCODEs actually interrupt
+//     jobs, which locations are currently unreliable, which codes are
+//     false alarms the scheduler can ignore;
+//
+//  2. job-interruption history — per-executable consecutive-failure
+//     counts, so resubmissions can be steered or checkpointed.
+//
+//     go run ./examples/scheduler_advisor
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+	"repro/internal/bgp"
+	"repro/internal/core"
+)
+
+func main() {
+	rep, err := repro.Run(repro.QuickConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := rep.Analysis()
+
+	// Feed 1a: event-type triage.
+	fmt.Println("== fatal-event triage for the scheduler ==")
+	type codeInfo struct {
+		code  string
+		id    core.Identification
+		class core.Class
+	}
+	var infos []codeInfo
+	for code, id := range a.Identification {
+		infos = append(infos, codeInfo{code, id, a.Classification[code].Class})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].id.Events > infos[j].id.Events })
+	ignorable, actionable := 0, 0
+	for _, ci := range infos {
+		if ci.id.Verdict == core.VerdictNonFatal {
+			ignorable++
+			fmt.Printf("  IGNORE   %-34s %3d events never interrupted a running job\n", ci.code, ci.id.Events)
+		}
+	}
+	for i, ci := range infos {
+		if ci.id.Verdict == core.VerdictNonFatal || i > 8 {
+			continue
+		}
+		actionable++
+		fmt.Printf("  WATCH    %-34s %3d events, %2d interrupting, origin=%s\n",
+			ci.code, ci.id.Events, ci.id.Case1, ci.class)
+	}
+	fmt.Printf("  (%d ignorable types, %d high-volume actionable types shown)\n\n", ignorable, actionable)
+
+	// Feed 1b: unreliable locations right now.
+	fmt.Println("== unreliable midplanes (drain candidates) ==")
+	mc := a.MidplaneCharacteristics(32)
+	for _, mp := range mc.TopMidplanes[:6] {
+		fmt.Printf("  %-7s %2d independent fatal events\n", bgp.MidplaneLocation(mp), mc.FatalEvents[mp])
+	}
+	fmt.Println()
+
+	// Feed 2: per-executable interruption history (Fig. 7's k).
+	fmt.Println("== executables with consecutive-interruption history ==")
+	interrupted := a.InterruptedJobIDs()
+	type hist struct {
+		exec   string
+		streak int
+	}
+	var hs []hist
+	for exec, jobs := range rep.Jobs().ByExecFile() {
+		streak, maxStreak := 0, 0
+		for _, j := range jobs {
+			if interrupted[j.ID] {
+				streak++
+				if streak > maxStreak {
+					maxStreak = streak
+				}
+			} else {
+				streak = 0
+			}
+		}
+		if maxStreak >= 2 {
+			hs = append(hs, hist{exec, maxStreak})
+		}
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].streak != hs[j].streak {
+			return hs[i].streak > hs[j].streak
+		}
+		return hs[i].exec < hs[j].exec
+	})
+	rs := a.Resubmissions(3)
+	for i, h := range hs {
+		if i >= 8 {
+			break
+		}
+		k := h.streak
+		if k > 3 {
+			k = 3
+		}
+		fmt.Printf("  peak k=%d  %-42s next-run interruption risk ~%.0f%% (system) / ~%.0f%% (application)\n",
+			h.streak, h.exec, 100*rs.System[k], 100*rs.Application[k])
+	}
+	fmt.Printf("  (%d executables experienced consecutive interruptions)\n", len(hs))
+}

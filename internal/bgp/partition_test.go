@@ -1,0 +1,210 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionStringRoundTrip(t *testing.T) {
+	cases := []struct {
+		p    Partition
+		want string
+	}{
+		{Partition{Start: 38, Size: 1}, "R23-M0"},
+		{Partition{Start: 39, Size: 1}, "R23-M1"},
+		{Partition{Start: 38, Size: 2}, "R23"},
+		{Partition{Start: 16, Size: 4}, "R10-R11"},
+		{Partition{Start: 0, Size: 80}, "R00-R47"},
+		{Partition{Start: 1, Size: 2}, "R00-M1..R01-M0"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.p, got, c.want)
+		}
+		back, err := ParsePartition(c.want)
+		if err != nil {
+			t.Fatalf("ParsePartition(%q): %v", c.want, err)
+		}
+		if back != c.p {
+			t.Errorf("ParsePartition(%q) = %+v, want %+v", c.want, back, c.p)
+		}
+	}
+}
+
+func TestPartitionRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := PartitionSizes[rng.Intn(len(PartitionSizes))]
+		start := rng.Intn(NumMidplanes - size + 1)
+		p := Partition{Start: start, Size: size}
+		if !p.Valid() {
+			return false
+		}
+		back, err := ParsePartition(p.String())
+		return err == nil && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePartitionErrors(t *testing.T) {
+	for _, s := range []string{"", "R23-M0-N08", "R24-R23", "R23-M0..R23-M0-S", "junk"} {
+		if _, err := ParsePartition(s); err == nil {
+			t.Errorf("ParsePartition(%q): want error", s)
+		}
+	}
+}
+
+func TestPartitionOverlapsContains(t *testing.T) {
+	a := Partition{Start: 8, Size: 8}
+	b := Partition{Start: 12, Size: 8}
+	c := Partition{Start: 16, Size: 4}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a/b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a/c should not overlap")
+	}
+	if !b.Overlaps(c) {
+		t.Error("b/c should overlap")
+	}
+	if !a.Contains(8) || !a.Contains(15) || a.Contains(16) || a.Contains(7) {
+		t.Error("Contains boundary wrong")
+	}
+	if n := a.Nodes(); n != 8*NodesPerMidplane {
+		t.Errorf("Nodes() = %d", n)
+	}
+}
+
+func TestPartitionOverlapSymmetryQuick(t *testing.T) {
+	f := func(s1, s2 uint8) bool {
+		p := Partition{Start: int(s1) % 73, Size: 8}
+		q := Partition{Start: int(s2) % 73, Size: 8}
+		// Symmetry, and agreement with midplane-set intersection.
+		set := map[int]bool{}
+		for _, mp := range p.Midplanes() {
+			set[mp] = true
+		}
+		inter := false
+		for _, mp := range q.Midplanes() {
+			if set[mp] {
+				inter = true
+			}
+		}
+		return p.Overlaps(q) == q.Overlaps(p) && p.Overlaps(q) == inter
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineAllocateRelease(t *testing.T) {
+	m := NewMachine()
+	p, err := NewPartition(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Allocate(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.BusyCount() != 16 {
+		t.Errorf("BusyCount = %d, want 16", m.BusyCount())
+	}
+	if err := m.Allocate(Partition{Start: 8, Size: 8}); err == nil {
+		t.Error("overlapping Allocate succeeded")
+	}
+	q, _ := NewPartition(16, 16)
+	if err := m.Allocate(q); err != nil {
+		t.Errorf("disjoint Allocate failed: %v", err)
+	}
+	m.Release(p)
+	if m.Busy(0) || !m.Busy(16) {
+		t.Error("Release cleared wrong midplanes")
+	}
+}
+
+func TestMachineDrain(t *testing.T) {
+	m := NewMachine()
+	m.Drain(3)
+	if !m.Drained(3) {
+		t.Fatal("Drained(3) = false")
+	}
+	if err := m.Allocate(Partition{Start: 0, Size: 4}); err == nil {
+		t.Error("Allocate over drained midplane succeeded")
+	}
+	m.Undrain(3)
+	if err := m.Allocate(Partition{Start: 0, Size: 4}); err != nil {
+		t.Errorf("Allocate after Undrain: %v", err)
+	}
+}
+
+func TestCandidatesAlignment(t *testing.T) {
+	m := NewMachine()
+	for _, size := range PartitionSizes {
+		cands := m.Candidates(size)
+		if len(cands) == 0 {
+			t.Fatalf("no candidates for size %d on empty machine", size)
+		}
+		align := size
+		if size == 48 || size == 80 {
+			align = 16
+		}
+		for _, p := range cands {
+			if p.Start%align != 0 {
+				t.Errorf("size %d candidate start %d not %d-aligned", size, p.Start, align)
+			}
+			if !p.Valid() {
+				t.Errorf("invalid candidate %+v", p)
+			}
+		}
+	}
+	if got := m.Candidates(3); got != nil {
+		t.Errorf("Candidates(3) = %v, want nil", got)
+	}
+}
+
+func TestFirstFitSkipsBusy(t *testing.T) {
+	m := NewMachine()
+	if err := m.Allocate(Partition{Start: 0, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := m.FirstFit(8)
+	if !ok || p.Start != 8 {
+		t.Errorf("FirstFit(8) = %+v ok=%v, want start 8", p, ok)
+	}
+	// Fill the machine, then FirstFit must fail.
+	for {
+		q, ok := m.FirstFit(8)
+		if !ok {
+			break
+		}
+		if err := m.Allocate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := m.FirstFit(1); ok {
+		t.Error("FirstFit(1) succeeded on full machine")
+	}
+	if len(m.FreeMidplanes()) != 0 {
+		t.Error("FreeMidplanes non-empty on full machine")
+	}
+}
+
+func TestNextPartitionSize(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 9: 16, 17: 32, 33: 48, 49: 64, 65: 80, 81: 0}
+	for in, want := range cases {
+		if got := NextPartitionSize(in); got != want {
+			t.Errorf("NextPartitionSize(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSortPartitions(t *testing.T) {
+	ps := []Partition{{Start: 4, Size: 8}, {Start: 0, Size: 2}, {Start: 0, Size: 1}}
+	SortPartitions(ps)
+	if ps[0] != (Partition{Start: 0, Size: 1}) || ps[1] != (Partition{Start: 0, Size: 2}) || ps[2] != (Partition{Start: 4, Size: 8}) {
+		t.Errorf("SortPartitions wrong order: %v", ps)
+	}
+}

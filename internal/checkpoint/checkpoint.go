@@ -1,0 +1,266 @@
+// Package checkpoint simulates checkpoint/restart policies for long
+// jobs under the failure model the co-analysis fits — the §VII
+// discussion made executable. It quantifies the paper's two policy
+// recommendations:
+//
+//  1. under a decreasing-hazard (Weibull) failure process, periodic
+//     checkpointing tuned by Young's exponential formula is no longer
+//     optimal;
+//  2. jobs that may still carry application errors should not
+//     checkpoint early — most application errors strike within the
+//     first hour (Obs. 11) and force a fix-and-rerun that makes early
+//     checkpoints pure overhead.
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Config describes the job and its failure environment.
+type Config struct {
+	// JobLength is the useful work the job must complete.
+	JobLength time.Duration
+	// CheckpointCost is the wall time one checkpoint takes.
+	CheckpointCost time.Duration
+	// RestartCost is the wall time lost to reboot/requeue after a
+	// system failure.
+	RestartCost time.Duration
+	// Failures is the system-failure interarrival distribution affecting
+	// the job's partition (wall time). Use the co-analysis Weibull fit.
+	Failures stats.Dist
+	// BugProb is the probability the run carries a latent application
+	// error (ground truth in the simulation).
+	BugProb float64
+	// BugMean is the mean (exponential) work time at which the bug
+	// fires.
+	BugMean time.Duration
+	// BugFixDelay is the wall time lost to fixing and resubmitting after
+	// the bug fires; the rerun starts from scratch — checkpoints of the
+	// buggy attempt are worthless.
+	BugFixDelay time.Duration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.JobLength <= 0 {
+		return fmt.Errorf("checkpoint: non-positive job length")
+	}
+	if c.CheckpointCost < 0 || c.RestartCost < 0 || c.BugFixDelay < 0 {
+		return fmt.Errorf("checkpoint: negative cost")
+	}
+	if c.Failures == nil {
+		return fmt.Errorf("checkpoint: nil failure distribution")
+	}
+	if c.BugProb < 0 || c.BugProb > 1 {
+		return fmt.Errorf("checkpoint: BugProb %v outside [0,1]", c.BugProb)
+	}
+	if c.BugProb > 0 && c.BugMean <= 0 {
+		return fmt.Errorf("checkpoint: BugProb set but BugMean not positive")
+	}
+	return nil
+}
+
+// Policy is a periodic checkpoint schedule with an optional initial
+// delay: checkpoints at work points Delay + k*Interval. Interval <= 0
+// disables checkpointing.
+type Policy struct {
+	// Name labels the policy in reports.
+	Name string
+	// Interval is the work between checkpoints.
+	Interval time.Duration
+	// Delay is the work before the first checkpoint (the paper's advice:
+	// at least the first hour for jobs with application-error history).
+	Delay time.Duration
+}
+
+// None returns the no-checkpoint policy.
+func None() Policy { return Policy{Name: "none"} }
+
+// Periodic returns a fixed-interval policy.
+func Periodic(interval time.Duration) Policy {
+	return Policy{Name: fmt.Sprintf("periodic(%s)", interval), Interval: interval}
+}
+
+// Young returns Young's optimal periodic policy for checkpoint cost
+// delta under an exponential failure assumption with the given MTBF:
+// interval = sqrt(2 * delta * MTBF).
+func Young(delta time.Duration, mtbf time.Duration) Policy {
+	iv := time.Duration(math.Sqrt(2*delta.Seconds()*mtbf.Seconds()) * float64(time.Second))
+	return Policy{Name: fmt.Sprintf("young(%s)", iv.Round(time.Second)), Interval: iv}
+}
+
+// DelayedFirstHour wraps a periodic policy with the paper's Obs. 11
+// advice: no checkpoint before one hour of work.
+func DelayedFirstHour(interval time.Duration) Policy {
+	return Policy{Name: fmt.Sprintf("delayed1h(%s)", interval), Interval: interval, Delay: time.Hour}
+}
+
+// Result aggregates a Monte Carlo run.
+type Result struct {
+	// Policy names the evaluated schedule.
+	Policy string
+	// Runs is the sample size.
+	Runs int
+	// MeanWallTime is the mean wall time to complete the job.
+	MeanWallTime time.Duration
+	// Efficiency is JobLength / MeanWallTime.
+	Efficiency float64
+	// MeanFailures and MeanCheckpoints count per-run events.
+	MeanFailures, MeanCheckpoints float64
+	// MeanLostWork is the mean work recomputed after failures.
+	MeanLostWork time.Duration
+	// WastedCheckpoints counts checkpoints of attempts later voided by
+	// an application error.
+	WastedCheckpoints float64
+}
+
+// Simulate runs the policy through `runs` independent job executions
+// and aggregates the outcome.
+func Simulate(cfg Config, pol Policy, runs int, seed int64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if runs <= 0 {
+		return Result{}, fmt.Errorf("checkpoint: non-positive runs")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var res Result
+	res.Policy = pol.Name
+	res.Runs = runs
+	var totalWall, totalLost float64
+	for i := 0; i < runs; i++ {
+		one := simulateOnce(cfg, pol, rng)
+		totalWall += one.wall
+		totalLost += one.lost
+		res.MeanFailures += float64(one.failures)
+		res.MeanCheckpoints += float64(one.checkpoints)
+		res.WastedCheckpoints += float64(one.wastedCkpts)
+	}
+	n := float64(runs)
+	res.MeanWallTime = time.Duration(totalWall / n * float64(time.Second))
+	res.MeanLostWork = time.Duration(totalLost / n * float64(time.Second))
+	res.MeanFailures /= n
+	res.MeanCheckpoints /= n
+	res.WastedCheckpoints /= n
+	if res.MeanWallTime > 0 {
+		res.Efficiency = cfg.JobLength.Seconds() / res.MeanWallTime.Seconds()
+	}
+	return res, nil
+}
+
+type runStats struct {
+	wall, lost  float64
+	failures    int
+	checkpoints int
+	wastedCkpts int
+}
+
+// simulateOnce plays one job execution in seconds of wall time.
+func simulateOnce(cfg Config, pol Policy, rng *rand.Rand) runStats {
+	var st runStats
+	L := cfg.JobLength.Seconds()
+	delta := cfg.CheckpointCost.Seconds()
+	restart := cfg.RestartCost.Seconds()
+
+	// Latent application error (fires once across the whole submission
+	// chain; the rerun after the fix is clean).
+	bugAt := math.Inf(1)
+	if cfg.BugProb > 0 && rng.Float64() < cfg.BugProb {
+		bugAt = rng.ExpFloat64() * cfg.BugMean.Seconds()
+		if bugAt >= L {
+			bugAt = math.Inf(1) // never manifests
+		}
+	}
+
+	work := 0.0  // completed work of the current attempt
+	saved := 0.0 // work protected by the last checkpoint
+	ckptsThisAttempt := 0
+	nextFail := cfg.Failures.Rand(rng) // wall time to next system failure
+
+	nextCkpt := func() float64 {
+		if pol.Interval <= 0 {
+			return math.Inf(1)
+		}
+		base := pol.Delay.Seconds()
+		iv := pol.Interval.Seconds()
+		k := math.Floor((work - base) / iv)
+		next := base + (k+1)*iv
+		if work < base {
+			next = base
+		}
+		if next <= work {
+			next += iv
+		}
+		return next
+	}
+
+	for work < L {
+		target := math.Min(L, nextCkpt())
+		if !math.IsInf(bugAt, 1) {
+			target = math.Min(target, bugAt)
+		}
+		need := target - work
+		if nextFail < need {
+			// System failure strikes mid-segment: lose unsaved work.
+			st.failures++
+			st.lost += work + nextFail - saved
+			st.wall += nextFail + restart
+			work = saved
+			nextFail = cfg.Failures.Rand(rng)
+			continue
+		}
+		// Segment completes.
+		st.wall += need
+		nextFail -= need
+		work = target
+
+		if work == bugAt {
+			// Application error: fix and rerun from scratch; prior
+			// checkpoints of this attempt are void.
+			st.wall += cfg.BugFixDelay.Seconds()
+			st.lost += work
+			st.wastedCkpts += ckptsThisAttempt
+			ckptsThisAttempt = 0
+			work, saved = 0, 0
+			bugAt = math.Inf(1)
+			nextFail = cfg.Failures.Rand(rng)
+			continue
+		}
+		if work < L {
+			// Take a checkpoint; a failure during it loses to the
+			// previous checkpoint.
+			if nextFail < delta {
+				st.failures++
+				st.lost += work + nextFail - saved
+				st.wall += nextFail + restart
+				work = saved
+				nextFail = cfg.Failures.Rand(rng)
+				continue
+			}
+			st.wall += delta
+			nextFail -= delta
+			saved = work
+			st.checkpoints++
+			ckptsThisAttempt++
+		}
+	}
+	return st
+}
+
+// Sweep evaluates several policies under one configuration.
+func Sweep(cfg Config, pols []Policy, runs int, seed int64) ([]Result, error) {
+	out := make([]Result, 0, len(pols))
+	for i, p := range pols {
+		r, err := Simulate(cfg, p, runs, seed+int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

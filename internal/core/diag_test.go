@@ -1,0 +1,19 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDiagFeatures(t *testing.T) {
+	_, a := campaign(t)
+	fr := a.Features(12)
+	fmt.Println("cat1:")
+	for _, f := range fr.System {
+		fmt.Printf("  %-10s ratio=%.5f ig=%.6f iv=%.4f\n", f.Name, f.Score.Ratio, f.Score.InfoGain, f.Score.IntrinsicValue)
+	}
+	fmt.Println("cat2:")
+	for _, f := range fr.Application {
+		fmt.Printf("  %-10s ratio=%.5f ig=%.6f iv=%.4f\n", f.Name, f.Score.Ratio, f.Score.InfoGain, f.Score.IntrinsicValue)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "sort"
+
+// PropagationStats carries the §VI-C failure-propagation analysis
+// (Obs. 8): spatial propagation (one fatal event interrupting several
+// jobs at once, through shared infrastructure) versus temporal
+// propagation (the scheduler reallocating failed nodes or users
+// resubmitting buggy codes).
+type PropagationStats struct {
+	// SpatialEvents counts fatal events that interrupted more than one
+	// job.
+	SpatialEvents int
+	// InterruptingEvents counts fatal events that interrupted at least
+	// one job.
+	InterruptingEvents int
+	// SpatialFraction is SpatialEvents / InterruptingEvents (the paper:
+	// 7.22%).
+	SpatialFraction float64
+	// SpatialCodes lists the ERRCODEs behind spatial propagation, sorted
+	// (the paper found exactly two: bg_code_script_error and
+	// CiodHungProxy, both shared-file-system mediated).
+	SpatialCodes []string
+	// TemporalEvents counts job-related redundant events — the temporal
+	// propagation the paper describes.
+	TemporalEvents int
+}
+
+// Propagation computes Observation 8's statistics.
+func (a *Analysis) Propagation() PropagationStats {
+	var ps PropagationStats
+	codes := make(map[string]bool)
+	for _, ev := range a.Events {
+		n := len(a.interByEvent[ev])
+		if n == 0 {
+			continue
+		}
+		ps.InterruptingEvents++
+		if n > 1 {
+			ps.SpatialEvents++
+			codes[ev.Code] = true
+		}
+	}
+	if ps.InterruptingEvents > 0 {
+		ps.SpatialFraction = float64(ps.SpatialEvents) / float64(ps.InterruptingEvents)
+	}
+	for c := range codes {
+		ps.SpatialCodes = append(ps.SpatialCodes, c)
+	}
+	sort.Strings(ps.SpatialCodes)
+	ps.TemporalEvents = len(a.JobRedundant)
+	return ps
+}

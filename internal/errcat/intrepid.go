@@ -1,0 +1,147 @@
+package errcat
+
+import (
+	"fmt"
+
+	"repro/internal/raslog"
+)
+
+// Named codes that the paper calls out explicitly. Exported so the
+// analysis tests and examples can refer to them without string literals.
+const (
+	// CodeRASStorm is the L1 data-cache parity error
+	// (_bgp_err_cns_ras_storm_fatal), a system failure reported from the
+	// KERNEL domain; one instance consecutively interrupted 28 jobs.
+	CodeRASStorm = "_bgp_err_cns_ras_storm_fatal"
+	// CodeDDRController is the DDR controller error, a sticky system
+	// failure.
+	CodeDDRController = "_bgp_err_ddr_ue_summary_fatal"
+	// CodeFSConfig is the file-system configuration error, a sticky
+	// system failure.
+	CodeFSConfig = "fs_configuration_error"
+	// CodeLinkCard is the link-card error, a sticky system failure.
+	CodeLinkCard = "LinkCardPowerError"
+	// CodeCiodHungProxy is an application error caused by a user
+	// operation mistake in the file system; it propagates spatially
+	// because the file system is shared.
+	CodeCiodHungProxy = "CiodHungProxy"
+	// CodeScriptError (bg_code_script_error) is a script error in the
+	// file system; also spatially propagating.
+	CodeScriptError = "bg_code_script_error"
+	// CodeBulkPower is BULK_POWER_FATAL, a hardware alarm that is FATAL
+	// by severity but never interrupts jobs (transient; diagnostics run
+	// while jobs continue).
+	CodeBulkPower = "BULK_POWER_FATAL"
+	// CodeTorusSum is _bgp_err_torus_fatal_sum, a network alarm resolved
+	// by a higher-level protocol; jobs are protected.
+	CodeTorusSum = "_bgp_err_torus_fatal_sum"
+	// CodeInvalidMemAddr is the invalid-memory-address application error.
+	CodeInvalidMemAddr = "_bgp_err_app_invalid_mem_addr"
+	// CodeOutOfMemory is the out-of-memory application error.
+	CodeOutOfMemory = "_bgp_err_app_out_of_memory"
+	// CodeFSOperation is the file-system-operation application error.
+	CodeFSOperation = "_bgp_err_app_fs_operation"
+	// CodeCollectiveOp is the collective-operation application error.
+	CodeCollectiveOp = "_bgp_err_app_collective_op"
+)
+
+// Intrepid returns the default 82-type catalog patterned on the FATAL
+// ERRCODE population of the Intrepid RAS log: 72 system-failure types,
+// 8 application-error types, 2 non-interrupting types. Weights are
+// tuned so roughly 75% of fatal-event volume reports from the KERNEL
+// component, as the paper observed.
+func Intrepid() *Catalog {
+	var codes []Code
+
+	add := func(c Code) { codes = append(codes, c) }
+
+	family := func(n int, class Class, comp raslog.Component, sub, nameFmt, msgID, msg string, weight float64, sticky bool) {
+		for i := 0; i < n; i++ {
+			add(Code{
+				Name:         fmt.Sprintf(nameFmt, i),
+				MsgID:        fmt.Sprintf("%s%02d", msgID, i),
+				Component:    comp,
+				SubComponent: sub,
+				Message:      msg,
+				Class:        class,
+				Interrupting: true,
+				Sticky:       sticky,
+				Weight:       weight,
+			})
+		}
+	}
+
+	// --- Named system failures (5) ---
+	add(Code{Name: CodeRASStorm, MsgID: "KERN_0802", Component: raslog.CompKernel,
+		SubComponent: "CNS", Message: "L1 data cache parity error; RAS storm",
+		Class: ClassSystem, Interrupting: true, Sticky: true, Weight: 8})
+	add(Code{Name: CodeDDRController, MsgID: "KERN_0309", Component: raslog.CompKernel,
+		SubComponent: "DDR", Message: "DDR controller uncorrectable error summary",
+		Class: ClassSystem, Interrupting: true, Sticky: true, Weight: 5})
+	add(Code{Name: CodeFSConfig, MsgID: "MMCS_0217", Component: raslog.CompMMCS,
+		SubComponent: "FILESYS", Message: "file system configuration error on I/O path",
+		Class: ClassSystem, Interrupting: true, Sticky: true, Weight: 4})
+	add(Code{Name: CodeLinkCard, MsgID: "CARD_0520", Component: raslog.CompCard,
+		SubComponent: "LINKCARD", Message: "link card power fault detected",
+		Class: ClassSystem, Interrupting: true, Sticky: true, Weight: 4})
+	add(Code{Name: "DetectedClockCardErrors", MsgID: "CARD_0411", Component: raslog.CompCard,
+		SubComponent: "PALOMINO_S", Message: "An error(s) was detected by the Clock card : Error=Loss of reference input",
+		Class: ClassSystem, Interrupting: true, Weight: 2})
+
+	// --- KERNEL system families (36 more; kernel carries ~75% of volume) ---
+	family(10, ClassSystem, raslog.CompKernel, "CNK", "_bgp_err_kernel_panic_%02d", "KERN_10", "compute node kernel panic", 3.0, false)
+	family(5, ClassSystem, raslog.CompKernel, "L2", "_bgp_err_l2_array_parity_%d", "KERN_11", "L2 array parity error", 2.5, false)
+	family(5, ClassSystem, raslog.CompKernel, "SNOOP", "_bgp_err_snoop_fatal_%d", "KERN_12", "snoop unit fatal condition", 2.0, false)
+	family(5, ClassSystem, raslog.CompKernel, "COLLECTIVE", "_bgp_err_collective_net_%d", "KERN_13", "collective network fatal error", 2.0, false)
+	family(5, ClassSystem, raslog.CompKernel, "DMA", "_bgp_err_dma_fatal_%d", "KERN_14", "DMA unit fatal error", 2.0, false)
+	family(4, ClassSystem, raslog.CompKernel, "TREE", "_bgp_err_tree_ecc_%d", "KERN_15", "tree network uncorrectable ECC", 1.5, false)
+	family(2, ClassSystem, raslog.CompKernel, "CIOD", "_bgp_err_ciod_fatal_%d", "KERN_16", "control/IO daemon fatal condition", 1.5, true)
+
+	// --- MC system families (10) ---
+	family(6, ClassSystem, raslog.CompMC, "HW", "MC_HARDWARE_FATAL_%d", "MC_07", "machine controller hardware fatal", 0.8, false)
+	family(4, ClassSystem, raslog.CompMC, "PGOOD", "MC_PGOOD_FAULT_%d", "MC_08", "power-good signal fault", 0.6, false)
+
+	// --- MMCS system families (9 more) ---
+	family(5, ClassSystem, raslog.CompMMCS, "BOOT", "MMCS_BOOT_FAILURE_%d", "MMCS_09", "partition boot failure", 1.0, false)
+	family(3, ClassSystem, raslog.CompMMCS, "DB", "MMCS_DB_FATAL_%d", "MMCS_10", "control-system database fatal", 0.5, false)
+	family(1, ClassSystem, raslog.CompMMCS, "POLLER", "MMCS_POLLER_FATAL_%d", "MMCS_11", "environmental poller fatal", 0.5, false)
+
+	// --- CARD system families (7 more) ---
+	family(4, ClassSystem, raslog.CompCard, "POWER", "CARD_POWER_FAULT_%d", "CARD_06", "node card power fault", 0.7, false)
+	family(3, ClassSystem, raslog.CompCard, "TEMP", "CARD_TEMP_FATAL_%d", "CARD_07", "over-temperature condition", 0.5, true)
+
+	// --- BAREMETAL (3) and DIAGS (2) system families ---
+	family(3, ClassSystem, raslog.CompBareMetal, "SVC", "BAREMETAL_SVC_FATAL_%d", "BM_03", "service facility fatal", 0.4, false)
+	family(2, ClassSystem, raslog.CompDiags, "MEMTEST", "DIAGS_MEMTEST_FATAL_%d", "DIAG_02", "diagnostic memory test fatal", 0.3, false)
+
+	// --- Application errors (8), all reported from the KERNEL domain:
+	// the paper found no fatal event reported from APPLICATION, which is
+	// exactly why the COMPONENT field cannot separate the classes. ---
+	appErr := func(name, msgID, sub, msg string, weight float64, shared bool) {
+		add(Code{Name: name, MsgID: msgID, Component: raslog.CompKernel,
+			SubComponent: sub, Message: msg, Class: ClassApplication,
+			Interrupting: true, Shared: shared, Weight: weight})
+	}
+	appErr(CodeInvalidMemAddr, "KERN_2001", "CNK", "application segmentation fault: invalid memory address", 8, false)
+	appErr(CodeOutOfMemory, "KERN_2002", "CNK", "application heap exhausted: out of memory", 6, false)
+	appErr(CodeFSOperation, "KERN_2003", "CIOD", "application file system operation failed", 4, false)
+	appErr(CodeCollectiveOp, "KERN_2004", "COLLECTIVE", "application collective operation mismatch", 3, false)
+	appErr(CodeCiodHungProxy, "KERN_2005", "CIOD", "ciod hung proxy: file system operation stalled", 3, true)
+	appErr(CodeScriptError, "KERN_2006", "CIOD", "job script error in shared file system", 2, true)
+	appErr("_bgp_err_app_alignment", "KERN_2007", "CNK", "application alignment exception", 2, false)
+	appErr("_bgp_err_app_abort", "KERN_2008", "CNK", "application called abort", 2, false)
+
+	// --- Non-interrupting FATAL alarms (2) ---
+	add(Code{Name: CodeBulkPower, MsgID: "CARD_0999", Component: raslog.CompCard,
+		SubComponent: "BULKPOWER", Message: "error in bulk power module; rack partially disabled for diagnostics",
+		Class: ClassSystem, Interrupting: false, Weight: 5})
+	add(Code{Name: CodeTorusSum, MsgID: "KERN_0901", Component: raslog.CompKernel,
+		SubComponent: "TORUS", Message: "torus fatal summary; recovered by higher-level protocol",
+		Class: ClassSystem, Interrupting: false, Weight: 6})
+
+	cat, err := New(codes)
+	if err != nil {
+		panic("errcat: invalid built-in catalog: " + err.Error())
+	}
+	return cat
+}

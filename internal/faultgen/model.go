@@ -1,0 +1,258 @@
+// Package faultgen models the ground-truth fault behaviour of the
+// simulated Blue Gene/P machine: per-midplane system-failure hazards
+// (with the wide-job reliability penalty the paper hypothesizes and a
+// few "lemon" midplanes), sticky failures that leave hardware faulty
+// until repaired, and the emission of redundant RAS record storms for
+// each fatal occurrence, plus non-fatal background noise.
+//
+// The thinning interface lets the discrete-event scheduler drive a
+// non-homogeneous Poisson process: the engine draws candidate events at
+// MaxHazard and accepts each with HazardAt/MaxHazard evaluated against
+// live machine occupancy.
+package faultgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/errcat"
+)
+
+// Model parameterizes the ground-truth system-failure process.
+type Model struct {
+	// Catalog supplies the ERRCODE population.
+	Catalog *errcat.Catalog
+
+	// BaseRate is the baseline per-midplane fatal-occurrence rate in
+	// events per second while the midplane hosts no wide job.
+	BaseRate float64
+	// WideBoost multiplies the hazard while the midplane is part of a
+	// partition of at least WideSize midplanes. This is the mechanism
+	// behind Observation 5: wide jobs involve more complicated system
+	// configuration and interaction, reducing reliability. The paper's
+	// Table VI implies the per-midplane-hour interruption rate of the
+	// widest jobs is orders of magnitude above narrow jobs, so this
+	// boost is large.
+	WideBoost float64
+	// WideSize is the width threshold (midplanes) for the boost.
+	WideSize int
+	// WearGain, WearTau and WearCap model accumulated wide-job wear: a
+	// midplane's hazard is multiplied by min(1 + WearGain × E, WearCap),
+	// where E is its wide-exposure in hours decayed exponentially with
+	// time constant WearTau. The stress of capability runs (power,
+	// thermal, network reconfiguration) outlives the jobs, so
+	// wide-exercised midplanes also fail while idle — which is how the
+	// paper can observe both the wide-job/failure correlation (Obs. 5)
+	// and a large share of fatal events on idle hardware (Obs. 7).
+	WearGain float64
+	WearTau  time.Duration
+	WearCap  float64
+	// LemonBoost holds extra hazard factors for unreliable midplanes
+	// (the paper's worst midplanes 58, 60, 61).
+	LemonBoost map[int]float64
+
+	// EnvSigma and EnvCap model a doubly-stochastic environment: each
+	// campaign day carries a lognormal hazard multiplier with log-stddev
+	// EnvSigma, capped at EnvCap. Machine-room conditions (thermal
+	// events, storage weather, software rollouts) vary day to day, which
+	// is what gives real failure interarrivals their decreasing-hazard
+	// Weibull shape even after redundancy removal (Table IV's 0.573).
+	EnvSigma, EnvCap float64
+
+	// RepairMeanShort and RepairMeanLong parameterize the bimodal
+	// repair-time distribution of sticky failures: a fraction
+	// RepairShortProb of failures are reboot-fixable quickly; the rest
+	// need lengthy hardware/software service.
+	RepairMeanShort, RepairMeanLong time.Duration
+	// RepairShortProb is the probability of a short repair.
+	RepairShortProb float64
+	// AdminAccel is the factor (< 1) applied to the remaining repair
+	// time each time the sticky failure interrupts another job: repeated
+	// interruptions attract administrator attention (the recovery
+	// process that lowers the k=3 resubmission risk in Figure 7).
+	AdminAccel float64
+
+	systemCodes []errcat.Code
+	sysWeights  []float64
+	maxLemon    float64
+}
+
+// DefaultModel returns the Intrepid-like fault model over the given
+// catalog. The base rate is calibrated so a 237-day campaign yields a
+// few hundred independent fatal events after filtering, matching the
+// paper's 549.
+func DefaultModel(cat *errcat.Catalog) *Model {
+	m := &Model{
+		Catalog:   cat,
+		BaseRate:  1.0 / (86400 * 1500), // baseline fatal per midplane per ~1500 days
+		WideBoost: 60,
+		WideSize:  32,
+		WearGain:  8,
+		WearTau:   48 * time.Hour,
+		WearCap:   65,
+		LemonBoost: map[int]float64{
+			57: 2.5, 59: 3.0, 60: 2.8, // the paper's hot midplanes 58/60/61 (1-indexed)
+		},
+		RepairMeanShort: 40 * time.Minute,
+		RepairMeanLong:  10 * time.Hour,
+		RepairShortProb: 0.45,
+		AdminAccel:      0.35,
+		EnvSigma:        1.10,
+		EnvCap:          5.0,
+	}
+	m.init()
+	return m
+}
+
+func (m *Model) init() {
+	m.systemCodes = nil
+	m.sysWeights = nil
+	for _, c := range m.Catalog.ByClass(errcat.ClassSystem) {
+		m.systemCodes = append(m.systemCodes, c)
+		m.sysWeights = append(m.sysWeights, c.Weight)
+	}
+	m.maxLemon = 1
+	for _, f := range m.LemonBoost {
+		if f > m.maxLemon {
+			m.maxLemon = f
+		}
+	}
+}
+
+// Validate checks the model's parameters.
+func (m *Model) Validate() error {
+	if m.Catalog == nil {
+		return fmt.Errorf("faultgen: nil catalog")
+	}
+	if m.BaseRate <= 0 {
+		return fmt.Errorf("faultgen: non-positive base rate %v", m.BaseRate)
+	}
+	if m.WideBoost < 1 {
+		return fmt.Errorf("faultgen: wide boost %v < 1", m.WideBoost)
+	}
+	if m.AdminAccel <= 0 || m.AdminAccel > 1 {
+		return fmt.Errorf("faultgen: admin accel %v outside (0,1]", m.AdminAccel)
+	}
+	if m.WearGain < 0 || m.WearCap < 1 || m.WearTau <= 0 {
+		return fmt.Errorf("faultgen: bad wear parameters gain=%v cap=%v tau=%v",
+			m.WearGain, m.WearCap, m.WearTau)
+	}
+	if m.EnvSigma < 0 || m.EnvCap < 1 {
+		return fmt.Errorf("faultgen: bad environment parameters sigma=%v cap=%v", m.EnvSigma, m.EnvCap)
+	}
+	if len(m.systemCodes) == 0 {
+		return fmt.Errorf("faultgen: catalog has no system codes")
+	}
+	return nil
+}
+
+// EnvMultipliers draws one hazard multiplier per campaign day:
+// lognormal with unit mean (before capping), capped at EnvCap.
+func (m *Model) EnvMultipliers(rng *rand.Rand, days int) []float64 {
+	out := make([]float64, days)
+	for i := range out {
+		v := math.Exp(rng.NormFloat64()*m.EnvSigma - m.EnvSigma*m.EnvSigma/2)
+		if v > m.EnvCap {
+			v = m.EnvCap
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// WearMultiplier returns the hazard multiplier for a midplane with the
+// given decayed wide-exposure (hours).
+func (m *Model) WearMultiplier(exposureHours float64) float64 {
+	mult := 1 + m.WearGain*exposureHours
+	if mult > m.WearCap {
+		mult = m.WearCap
+	}
+	return mult
+}
+
+// HazardAt returns the instantaneous fatal-occurrence rate of midplane
+// mp. hostsWide reports whether a wide job is running there now;
+// exposureHours is the midplane's decayed wide-exposure (used only when
+// no wide job is running).
+func (m *Model) HazardAt(mp int, hostsWide bool, exposureHours float64) float64 {
+	h := m.BaseRate
+	if f, ok := m.LemonBoost[mp]; ok {
+		h *= f
+	}
+	if hostsWide {
+		return h * m.WideBoost
+	}
+	return h * m.WearMultiplier(exposureHours)
+}
+
+// MaxHazard returns an upper bound on any midplane's hazard (including
+// the environment multiplier), for Poisson thinning.
+func (m *Model) MaxHazard() float64 {
+	worst := m.WideBoost
+	if m.WearCap > worst {
+		worst = m.WearCap
+	}
+	env := m.EnvCap
+	if env < 1 {
+		env = 1
+	}
+	return m.BaseRate * m.maxLemon * worst * env
+}
+
+// TotalMaxRate returns the machine-wide candidate rate (thinning
+// envelope across all midplanes).
+func (m *Model) TotalMaxRate() float64 { return m.MaxHazard() * bgp.NumMidplanes }
+
+// DrawCandidateGap draws the time to the next candidate event of the
+// machine-wide envelope process.
+func (m *Model) DrawCandidateGap(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() / m.TotalMaxRate() * float64(time.Second))
+}
+
+// DrawSystemCode draws a system-failure ERRCODE by weight (includes the
+// two non-interrupting alarm types).
+func (m *Model) DrawSystemCode(rng *rand.Rand) errcat.Code {
+	total := 0.0
+	for _, w := range m.sysWeights {
+		total += w
+	}
+	u := rng.Float64() * total
+	for i, w := range m.sysWeights {
+		u -= w
+		if u < 0 {
+			return m.systemCodes[i]
+		}
+	}
+	return m.systemCodes[len(m.systemCodes)-1]
+}
+
+// DrawRepair draws a sticky failure's repair duration from the bimodal
+// mixture.
+func (m *Model) DrawRepair(rng *rand.Rand) time.Duration {
+	mean := m.RepairMeanLong
+	if rng.Float64() < m.RepairShortProb {
+		mean = m.RepairMeanShort
+	}
+	d := rng.ExpFloat64() * float64(mean)
+	if d < float64(time.Minute) {
+		d = float64(time.Minute)
+	}
+	return time.Duration(d)
+}
+
+// DetectionDelay draws the gap between a fault striking an occupied
+// midplane and the job's termination (fault detection plus crash).
+func DetectionDelay(rng *rand.Rand) time.Duration {
+	return time.Duration((5 + rng.ExpFloat64()*30) * float64(time.Second))
+}
+
+// ReallocKillDelay draws how long a job freshly scheduled onto a
+// still-faulty midplane survives before the sticky failure interrupts
+// it: minutes-scale (the job boots, touches the broken unit, dies).
+func ReallocKillDelay(rng *rand.Rand) time.Duration {
+	d := 60 + rng.ExpFloat64()*180
+	return time.Duration(d * float64(time.Second))
+}

@@ -1,0 +1,278 @@
+// Package filter implements the RAS-log preprocessing cascade of the
+// paper's methodology (Figure 1): temporal filtering (duplicate reports
+// from one location), spatial filtering (the same event type reported
+// from many locations, as a parallel job's interrupt is reported by all
+// its nodes), and causality-related filtering (sets of event types that
+// co-occur so reliably that the followers are symptoms of the leader).
+// Job-related filtering — the paper's contribution — needs the job log
+// and therefore lives in internal/core.
+package filter
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/raslog"
+)
+
+// Event is one filtered (independent) fatal event: a cluster of raw
+// records of one ERRCODE that temporal-spatial filtering collapsed.
+type Event struct {
+	// Code is the ERRCODE shared by the cluster.
+	Code string
+	// Component is the reporting component of the representative record.
+	Component raslog.Component
+	// First and Last delimit the cluster in time; First is the event
+	// time used by all downstream analyses.
+	First, Last time.Time
+	// Midplanes are the global midplane indices touched by any record of
+	// the cluster, sorted.
+	Midplanes []int
+	// Size is the number of raw records collapsed into this event.
+	Size int
+}
+
+// Time returns the event time (cluster start).
+func (e *Event) Time() time.Time { return e.First }
+
+// OnMidplane reports whether the event touched global midplane mp.
+func (e *Event) OnMidplane(mp int) bool {
+	i := sort.SearchInts(e.Midplanes, mp)
+	return i < len(e.Midplanes) && e.Midplanes[i] == mp
+}
+
+// Config holds the cascade thresholds.
+type Config struct {
+	// TemporalWindow collapses records with the same (location, code)
+	// whose gap is at most this (Liang et al. use 5 minutes).
+	TemporalWindow time.Duration
+	// SpatialWindow merges same-code clusters across locations whose gap
+	// is at most this.
+	SpatialWindow time.Duration
+	// CausalityWindow is the lag within which a follower event type is
+	// considered a symptom of its leader.
+	CausalityWindow time.Duration
+	// CausalityMinSupport is the minimum number of observed
+	// leader→follower co-occurrences for a causal rule.
+	CausalityMinSupport int
+	// CausalityMinConfidence is the minimum fraction of follower
+	// occurrences preceded by the leader.
+	CausalityMinConfidence float64
+}
+
+// DefaultConfig mirrors the thresholds of the paper's references:
+// 5-minute temporal and spatial windows, 10-minute causality lag.
+func DefaultConfig() Config {
+	return Config{
+		TemporalWindow:         5 * time.Minute,
+		SpatialWindow:          5 * time.Minute,
+		CausalityWindow:        10 * time.Minute,
+		CausalityMinSupport:    3,
+		CausalityMinConfidence: 0.6,
+	}
+}
+
+// Stats reports the compression achieved by each stage.
+type Stats struct {
+	// Input is the number of raw FATAL records.
+	Input int
+	// AfterTemporal, AfterSpatial and AfterCausality count surviving
+	// events after each stage.
+	AfterTemporal, AfterSpatial, AfterCausality int
+}
+
+// CompressionRatio returns 1 - after/input: the fraction of raw records
+// removed by the cascade (the paper reports 98.35%).
+func (s Stats) CompressionRatio() float64 {
+	if s.Input == 0 {
+		return 0
+	}
+	return 1 - float64(s.AfterCausality)/float64(s.Input)
+}
+
+// Pipeline runs the full cascade over the FATAL records of a store and
+// returns the independent events in time order.
+func Pipeline(cfg Config, fatal []raslog.Record) ([]*Event, Stats) {
+	var st Stats
+	st.Input = len(fatal)
+	t := Temporal(cfg.TemporalWindow, fatal)
+	st.AfterTemporal = len(t)
+	s := Spatial(cfg.SpatialWindow, t)
+	st.AfterSpatial = len(s)
+	rules := MineCausality(cfg, s)
+	c := Causality(cfg.CausalityWindow, rules, s)
+	st.AfterCausality = len(c)
+	return c, st
+}
+
+// locKey identifies a temporal-cluster stream.
+type locKey struct {
+	loc  string
+	code string
+}
+
+// Temporal collapses same-(location, code) records whose inter-record
+// gap is at most window. Records must be time-ordered. The result is
+// one Event per cluster, still location-specific.
+func Temporal(window time.Duration, recs []raslog.Record) []*Event {
+	open := make(map[locKey]*Event)
+	lastSeen := make(map[locKey]time.Time)
+	var out []*Event
+	for i := range recs {
+		r := &recs[i]
+		k := locKey{loc: r.Location, code: r.ErrCode}
+		ev, ok := open[k]
+		if ok && r.EventTime.Sub(lastSeen[k]) <= window {
+			ev.Last = r.EventTime
+			ev.Size++
+			lastSeen[k] = r.EventTime
+			continue
+		}
+		ev = &Event{
+			Code:      r.ErrCode,
+			Component: r.Component,
+			First:     r.EventTime,
+			Last:      r.EventTime,
+			Midplanes: raslog.RecordMidplanes(*r),
+			Size:      1,
+		}
+		open[k] = ev
+		lastSeen[k] = r.EventTime
+		out = append(out, ev)
+	}
+	sortEvents(out)
+	return out
+}
+
+// Spatial merges same-code events (from different locations) whose gap
+// is at most window. Input must be time-ordered (Temporal output is).
+func Spatial(window time.Duration, events []*Event) []*Event {
+	open := make(map[string]*Event)
+	var out []*Event
+	for _, ev := range events {
+		cur, ok := open[ev.Code]
+		if ok && ev.First.Sub(cur.Last) <= window {
+			if ev.Last.After(cur.Last) {
+				cur.Last = ev.Last
+			}
+			cur.Size += ev.Size
+			cur.Midplanes = mergeInts(cur.Midplanes, ev.Midplanes)
+			continue
+		}
+		merged := &Event{
+			Code:      ev.Code,
+			Component: ev.Component,
+			First:     ev.First,
+			Last:      ev.Last,
+			Midplanes: append([]int(nil), ev.Midplanes...),
+			Size:      ev.Size,
+		}
+		open[ev.Code] = merged
+		out = append(out, merged)
+	}
+	sortEvents(out)
+	return out
+}
+
+// Rule is a mined causality rule: occurrences of Follower within the
+// window after Leader are symptoms of the Leader.
+type Rule struct {
+	Leader, Follower string
+	// Support is the number of observed co-occurrences.
+	Support int
+	// Confidence is the fraction of Follower events preceded by Leader.
+	Confidence float64
+}
+
+// MineCausality scans the event stream for leader→follower pairs that
+// co-occur within the causality window with enough support and
+// confidence. Self-pairs are excluded (temporal filtering owns those).
+func MineCausality(cfg Config, events []*Event) []Rule {
+	type pair struct{ a, b string }
+	coCount := make(map[pair]int)
+	total := make(map[string]int)
+	for i, ev := range events {
+		total[ev.Code]++
+		// Look back over the window for distinct leaders.
+		seen := make(map[string]bool)
+		for j := i - 1; j >= 0; j-- {
+			lead := events[j]
+			if ev.First.Sub(lead.First) > cfg.CausalityWindow {
+				break
+			}
+			if lead.Code == ev.Code || seen[lead.Code] {
+				continue
+			}
+			seen[lead.Code] = true
+			coCount[pair{lead.Code, ev.Code}]++
+		}
+	}
+	var rules []Rule
+	for p, n := range coCount {
+		if n < cfg.CausalityMinSupport {
+			continue
+		}
+		conf := float64(n) / float64(total[p.b])
+		if conf < cfg.CausalityMinConfidence {
+			continue
+		}
+		rules = append(rules, Rule{Leader: p.a, Follower: p.b, Support: n, Confidence: conf})
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Leader != rules[j].Leader {
+			return rules[i].Leader < rules[j].Leader
+		}
+		return rules[i].Follower < rules[j].Follower
+	})
+	return rules
+}
+
+// Causality drops follower events that occur within the window after
+// their leader, per the mined rules.
+func Causality(window time.Duration, rules []Rule, events []*Event) []*Event {
+	leadersOf := make(map[string]map[string]bool)
+	for _, r := range rules {
+		m := leadersOf[r.Follower]
+		if m == nil {
+			m = make(map[string]bool)
+			leadersOf[r.Follower] = m
+		}
+		m[r.Leader] = true
+	}
+	lastAt := make(map[string]time.Time)
+	var out []*Event
+	for _, ev := range events {
+		drop := false
+		for lead := range leadersOf[ev.Code] {
+			if t, ok := lastAt[lead]; ok && ev.First.Sub(t) <= window && ev.First.After(t) {
+				drop = true
+				break
+			}
+		}
+		lastAt[ev.Code] = ev.First
+		if !drop {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func sortEvents(evs []*Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].First.Before(evs[j].First) })
+}
+
+func mergeInts(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		seen[x] = true
+	}
+	out := make([]int, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,172 @@
+package filter
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/raslog"
+)
+
+var t0 = time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC)
+
+func rec(code, loc string, offset time.Duration) raslog.Record {
+	return raslog.Record{
+		MsgID: "M", Component: raslog.CompKernel, ErrCode: code,
+		Severity: raslog.SevFatal, EventTime: t0.Add(offset), Location: loc,
+	}
+}
+
+func TestTemporalCollapsesDuplicates(t *testing.T) {
+	recs := []raslog.Record{
+		rec("a", "R00-M0", 0),
+		rec("a", "R00-M0", time.Minute),    // within window: same cluster
+		rec("a", "R00-M0", 3*time.Minute),  // chained: gap 2 min from last
+		rec("a", "R00-M0", 20*time.Minute), // new cluster
+		rec("a", "R00-M1", 30*time.Second), // different location: own cluster
+		rec("b", "R00-M0", 30*time.Second), // different code: own cluster
+	}
+	evs := Temporal(5*time.Minute, recs)
+	if len(evs) != 4 {
+		t.Fatalf("Temporal: %d events, want 4", len(evs))
+	}
+	if evs[0].Size != 3 || !evs[0].Last.Equal(t0.Add(3*time.Minute)) {
+		t.Errorf("first cluster = size %d last %v", evs[0].Size, evs[0].Last)
+	}
+}
+
+func TestTemporalSlidingWindow(t *testing.T) {
+	// A storm with sub-window gaps but total span above the window must
+	// still collapse (the window slides with the last record).
+	var recs []raslog.Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, rec("a", "R00-M0", time.Duration(i)*4*time.Minute))
+	}
+	evs := Temporal(5*time.Minute, recs)
+	if len(evs) != 1 || evs[0].Size != 10 {
+		t.Fatalf("storm not collapsed: %d events", len(evs))
+	}
+}
+
+func TestSpatialMergesAcrossLocations(t *testing.T) {
+	recs := []raslog.Record{
+		rec("a", "R00-M0", 0),
+		rec("a", "R00-M1", time.Minute),
+		rec("a", "R01-M0", 2*time.Minute),
+		rec("a", "R10-M0", time.Hour), // far later: separate event
+		rec("b", "R00-M0", time.Minute),
+	}
+	evs, st := Pipeline(DefaultConfig(), recs)
+	if st.Input != 5 || st.AfterTemporal != 5 || st.AfterSpatial != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("pipeline: %d events, want 3", len(evs))
+	}
+	first := evs[0]
+	if first.Code == "a" {
+		if len(first.Midplanes) != 3 {
+			t.Errorf("merged midplanes = %v", first.Midplanes)
+		}
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].First.Before(evs[i-1].First) {
+			t.Fatal("events not time-ordered")
+		}
+	}
+}
+
+func TestOnMidplane(t *testing.T) {
+	evs := Temporal(time.Minute, []raslog.Record{rec("a", "R01", 0)})
+	if len(evs) != 1 {
+		t.Fatal("want one event")
+	}
+	if !evs[0].OnMidplane(2) || !evs[0].OnMidplane(3) || evs[0].OnMidplane(4) {
+		t.Errorf("OnMidplane wrong for rack location: %v", evs[0].Midplanes)
+	}
+}
+
+func TestMineCausalityFindsPlantedRule(t *testing.T) {
+	// Plant: every "b" follows an "a" within 2 minutes; also unrelated "c".
+	var recs []raslog.Record
+	for i := 0; i < 6; i++ {
+		base := time.Duration(i) * time.Hour
+		recs = append(recs,
+			rec("a", "R00-M0", base),
+			rec("b", "R00-M1", base+2*time.Minute),
+			rec("c", "R02-M0", base+30*time.Minute),
+		)
+	}
+	cfg := DefaultConfig()
+	evs := Spatial(cfg.SpatialWindow, Temporal(cfg.TemporalWindow, recs))
+	rules := MineCausality(cfg, evs)
+	found := false
+	for _, r := range rules {
+		if r.Leader == "a" && r.Follower == "b" {
+			found = true
+			if r.Support < 6 || r.Confidence < 0.99 {
+				t.Errorf("rule stats = %+v", r)
+			}
+		}
+		if r.Follower == "c" {
+			t.Errorf("spurious rule onto c: %+v", r)
+		}
+	}
+	if !found {
+		t.Fatal("planted a->b rule not mined")
+	}
+	// Applying the rules drops every b.
+	kept := Causality(cfg.CausalityWindow, rules, evs)
+	for _, ev := range kept {
+		if ev.Code == "b" {
+			t.Errorf("b event at %v survived causality filtering", ev.First)
+		}
+	}
+	if len(kept) != 12 {
+		t.Errorf("kept %d events, want 12 (6 a + 6 c)", len(kept))
+	}
+}
+
+func TestCausalityKeepsIndependentFollowers(t *testing.T) {
+	// A "b" far from any "a" survives even with an a->b rule.
+	rules := []Rule{{Leader: "a", Follower: "b", Support: 5, Confidence: 1}}
+	evs := []*Event{
+		{Code: "a", First: t0, Last: t0},
+		{Code: "b", First: t0.Add(time.Hour), Last: t0.Add(time.Hour)},
+	}
+	kept := Causality(10*time.Minute, rules, evs)
+	if len(kept) != 2 {
+		t.Fatalf("independent follower dropped: kept %d", len(kept))
+	}
+}
+
+func TestPipelineCompressionOnStorm(t *testing.T) {
+	// A heavy storm: one code, 500 records over 3 minutes from many
+	// locations, plus a handful of separate events. Compression should
+	// be drastic, as the paper's 98.35%.
+	var recs []raslog.Record
+	for i := 0; i < 500; i++ {
+		loc := "R00-M0"
+		if i%3 == 1 {
+			loc = "R00-M1"
+		} else if i%3 == 2 {
+			loc = "R01-M0"
+		}
+		recs = append(recs, rec("storm", loc, time.Duration(i)*360*time.Millisecond))
+	}
+	recs = append(recs, rec("other", "R05-M0", 48*time.Hour))
+	evs, st := Pipeline(DefaultConfig(), recs)
+	if len(evs) != 2 {
+		t.Fatalf("pipeline: %d events, want 2", len(evs))
+	}
+	if st.CompressionRatio() < 0.95 {
+		t.Errorf("compression = %v, want > 0.95", st.CompressionRatio())
+	}
+}
+
+func TestStatsZero(t *testing.T) {
+	evs, st := Pipeline(DefaultConfig(), nil)
+	if len(evs) != 0 || st.CompressionRatio() != 0 {
+		t.Errorf("empty pipeline: %d events, ratio %v", len(evs), st.CompressionRatio())
+	}
+}

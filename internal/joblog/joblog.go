@@ -1,0 +1,352 @@
+// Package joblog models the system-wide job log collected by the Cobalt
+// scheduler on Intrepid: the per-job record schema (Table III of the
+// paper), a line-oriented serialization with Cobalt-style epoch
+// timestamps, and an in-memory log with the query operations the
+// co-analysis pipeline needs.
+package joblog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Job is one job record. A job is "distinct" from another iff its
+// ExecFile differs; the paper treats resubmissions of the same
+// executable as one distinct job.
+type Job struct {
+	// ID is the scheduler-assigned job sequence number.
+	ID int64
+	// Name is the user-visible job name ("N.A." when withheld).
+	Name string
+	// ExecFile is the path of the job executable; the distinct-job key.
+	ExecFile string
+	// QueueTime is when the job entered the wait queue.
+	QueueTime time.Time
+	// StartTime is when the job began running on its partition (after
+	// the partition reboot that Blue Gene/P performs before execution).
+	StartTime time.Time
+	// EndTime is when the job exited — finished or interrupted.
+	EndTime time.Time
+	// Partition is the set of midplanes the job ran on.
+	Partition bgp.Partition
+	// User is the submitting user ("N.A." when withheld).
+	User string
+	// Project is the charging project ("N.A." when withheld).
+	Project string
+}
+
+// Runtime returns the job's execution time (EndTime - StartTime).
+func (j Job) Runtime() time.Duration { return j.EndTime.Sub(j.StartTime) }
+
+// WaitTime returns the queueing delay (StartTime - QueueTime).
+func (j Job) WaitTime() time.Duration { return j.StartTime.Sub(j.QueueTime) }
+
+// Size returns the job's width in midplanes.
+func (j Job) Size() int { return j.Partition.Size }
+
+// RunningAt reports whether the job was executing at time t
+// (StartTime <= t < EndTime).
+func (j Job) RunningAt(t time.Time) bool {
+	return !t.Before(j.StartTime) && t.Before(j.EndTime)
+}
+
+// OnMidplane reports whether the job's partition contains global
+// midplane mp.
+func (j Job) OnMidplane(mp int) bool { return j.Partition.Contains(mp) }
+
+// epoch renders a time as Cobalt-style fractional epoch seconds.
+func epoch(t time.Time) string {
+	sec := float64(t.UnixNano()) / 1e9
+	return strconv.FormatFloat(sec, 'f', 2, 64)
+}
+
+func parseEpoch(s string) (time.Time, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return time.Time{}, err
+	}
+	sec, frac := math.Modf(f)
+	return time.Unix(int64(sec), int64(math.Round(frac*1e9))).UTC(), nil
+}
+
+const numFields = 9
+
+const fieldSep = "|"
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, fieldSep, `\p`)
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			if s[i+1] == 'p' {
+				b.WriteString(fieldSep)
+			} else {
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// MarshalLine renders the job as one line of the log file.
+func (j Job) MarshalLine() string {
+	fields := []string{
+		strconv.FormatInt(j.ID, 10),
+		escape(j.Name),
+		escape(j.ExecFile),
+		epoch(j.QueueTime),
+		epoch(j.StartTime),
+		epoch(j.EndTime),
+		j.Partition.String(),
+		escape(j.User),
+		escape(j.Project),
+	}
+	return strings.Join(fields, fieldSep)
+}
+
+// ErrBadJob reports an unparseable job log line.
+var ErrBadJob = errors.New("joblog: bad job line")
+
+// UnmarshalLine parses one line of the job log.
+func UnmarshalLine(line string) (Job, error) {
+	parts := strings.Split(line, fieldSep)
+	if len(parts) != numFields {
+		return Job{}, fmt.Errorf("%w: %d fields, want %d", ErrBadJob, len(parts), numFields)
+	}
+	var j Job
+	id, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return Job{}, fmt.Errorf("%w: id %q", ErrBadJob, parts[0])
+	}
+	j.ID = id
+	j.Name = unescape(parts[1])
+	j.ExecFile = unescape(parts[2])
+	if j.QueueTime, err = parseEpoch(parts[3]); err != nil {
+		return Job{}, fmt.Errorf("%w: queue time %q", ErrBadJob, parts[3])
+	}
+	if j.StartTime, err = parseEpoch(parts[4]); err != nil {
+		return Job{}, fmt.Errorf("%w: start time %q", ErrBadJob, parts[4])
+	}
+	if j.EndTime, err = parseEpoch(parts[5]); err != nil {
+		return Job{}, fmt.Errorf("%w: end time %q", ErrBadJob, parts[5])
+	}
+	if j.Partition, err = bgp.ParsePartition(parts[6]); err != nil {
+		return Job{}, fmt.Errorf("%w: %v", ErrBadJob, err)
+	}
+	j.User = unescape(parts[7])
+	j.Project = unescape(parts[8])
+	return j, nil
+}
+
+// Writer streams jobs to an underlying io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one job record; errors are sticky.
+func (w *Writer) Write(j Job) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.WriteString(j.MarshalLine()); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of jobs written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader streams jobs from an underlying io.Reader.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	return &Reader{s: s}
+}
+
+// Read returns the next job, or io.EOF at end of input.
+func (r *Reader) Read() (Job, error) {
+	for r.s.Scan() {
+		r.line++
+		line := r.s.Text()
+		if line == "" {
+			continue
+		}
+		j, err := UnmarshalLine(line)
+		if err != nil {
+			return Job{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return j, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return Job{}, err
+	}
+	return Job{}, io.EOF
+}
+
+// ReadAll drains the reader.
+func (r *Reader) ReadAll() ([]Job, error) {
+	var out []Job
+	for {
+		j, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, j)
+	}
+}
+
+// Log is an in-memory job log ordered by EndTime, with the aggregate
+// queries the co-analysis needs.
+type Log struct {
+	jobs []Job
+}
+
+// NewLog returns a log over jobs ordered by (EndTime, ID).
+func NewLog(jobs []Job) *Log {
+	l := &Log{jobs: append([]Job(nil), jobs...)}
+	sort.SliceStable(l.jobs, func(i, j int) bool {
+		if !l.jobs[i].EndTime.Equal(l.jobs[j].EndTime) {
+			return l.jobs[i].EndTime.Before(l.jobs[j].EndTime)
+		}
+		return l.jobs[i].ID < l.jobs[j].ID
+	})
+	return l
+}
+
+// Len returns the number of jobs.
+func (l *Log) Len() int { return len(l.jobs) }
+
+// All returns the jobs ordered by EndTime (shared slice; callers must
+// not mutate).
+func (l *Log) All() []Job { return l.jobs }
+
+// DistinctExecutables returns the number of distinct ExecFiles and the
+// number of ExecFiles submitted more than once.
+func (l *Log) DistinctExecutables() (distinct, resubmitted int) {
+	count := make(map[string]int)
+	for _, j := range l.jobs {
+		count[j.ExecFile]++
+	}
+	for _, n := range count {
+		if n > 1 {
+			resubmitted++
+		}
+	}
+	return len(count), resubmitted
+}
+
+// RunningAt returns the jobs executing at time t.
+func (l *Log) RunningAt(t time.Time) []Job {
+	var out []Job
+	for _, j := range l.jobs {
+		if j.RunningAt(t) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// RunningOn returns the jobs executing at time t whose partition
+// contains midplane mp.
+func (l *Log) RunningOn(t time.Time, mp int) []Job {
+	var out []Job
+	for _, j := range l.jobs {
+		if j.RunningAt(t) && j.OnMidplane(mp) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// MidplaneBusySeconds returns, per global midplane, the total seconds
+// the midplane spent allocated to jobs — the "workload" of Figure 4b.
+// If minSize > 0, only jobs at least that wide contribute (Figure 4c
+// uses wide jobs only).
+func (l *Log) MidplaneBusySeconds(minSize int) [bgp.NumMidplanes]float64 {
+	var out [bgp.NumMidplanes]float64
+	for _, j := range l.jobs {
+		if j.Size() < minSize {
+			continue
+		}
+		sec := j.Runtime().Seconds()
+		if sec < 0 {
+			continue
+		}
+		for mp := j.Partition.Start; mp < j.Partition.End(); mp++ {
+			out[mp] += sec
+		}
+	}
+	return out
+}
+
+// Span returns the earliest QueueTime and the latest EndTime.
+func (l *Log) Span() (first, last time.Time) {
+	if len(l.jobs) == 0 {
+		return
+	}
+	first = l.jobs[0].QueueTime
+	for _, j := range l.jobs {
+		if j.QueueTime.Before(first) {
+			first = j.QueueTime
+		}
+	}
+	return first, l.jobs[len(l.jobs)-1].EndTime
+}
+
+// ByExecFile groups job indices by executable, each group ordered by
+// StartTime; used by resubmission analyses.
+func (l *Log) ByExecFile() map[string][]Job {
+	m := make(map[string][]Job)
+	for _, j := range l.jobs {
+		m[j.ExecFile] = append(m[j.ExecFile], j)
+	}
+	for _, js := range m {
+		sort.Slice(js, func(a, b int) bool { return js[a].StartTime.Before(js[b].StartTime) })
+	}
+	return m
+}

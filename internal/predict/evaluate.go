@@ -1,0 +1,135 @@
+package predict
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/filter"
+	"repro/internal/joblog"
+)
+
+// Result scores one predictor over a replayed event stream.
+type Result struct {
+	// Predictor is the scored predictor's name.
+	Predictor string
+	// Hits counts events whose origin midplane was alarmed when they
+	// struck (true positives).
+	Hits int
+	// Misses counts events that struck unalarmed midplanes.
+	Misses int
+	// Recall is Hits / (Hits + Misses).
+	Recall float64
+	// AlarmMidplaneHours integrates how long midplanes spent alarmed —
+	// the proactive-action budget the predictor demands.
+	AlarmMidplaneHours float64
+	// Precision is Hits per alarmed midplane-day: how much alarm time
+	// one true hit costs. Higher is better.
+	HitsPerAlarmDay float64
+	// IdleHits counts true positives where no job was running at the
+	// location — the §VII point: with location information these
+	// proactive actions can be skipped entirely.
+	IdleHits int
+	// AvoidableActionFraction is IdleHits / Hits.
+	AvoidableActionFraction float64
+}
+
+// Evaluate replays the time-ordered events through the predictor: at
+// each event it first asks whether the event's midplanes were alarmed
+// (scoring), then lets the predictor observe the event. Alarm time is
+// integrated on a fixed grid. jobs supplies occupancy for the
+// idle-location analysis (may be nil).
+func Evaluate(p Predictor, events []*filter.Event, jobs *joblog.Log) (Result, error) {
+	if len(events) == 0 {
+		return Result{}, fmt.Errorf("predict: no events")
+	}
+	p.Reset()
+	res := Result{Predictor: p.Name()}
+
+	const grid = time.Hour
+	start := events[0].First
+	end := events[len(events)-1].First
+	next := 0
+	for t := start; !t.After(end); t = t.Add(grid) {
+		// Feed events up to t.
+		for next < len(events) && !events[next].First.After(t) {
+			ev := events[next]
+			next++
+			alarmed := false
+			for _, mp := range ev.Midplanes {
+				if p.Alarmed(mp, ev.First) {
+					alarmed = true
+					break
+				}
+			}
+			if alarmed {
+				res.Hits++
+				if jobs != nil && len(jobs.RunningAt(ev.First)) > 0 {
+					idle := true
+					for _, mp := range ev.Midplanes {
+						if len(jobs.RunningOn(ev.First, mp)) > 0 {
+							idle = false
+							break
+						}
+					}
+					if idle {
+						res.IdleHits++
+					}
+				} else if jobs != nil {
+					res.IdleHits++
+				}
+			} else {
+				res.Misses++
+			}
+			p.Observe(ev)
+		}
+		// Integrate alarm load on the grid.
+		for mp := 0; mp < bgp.NumMidplanes; mp++ {
+			if p.Alarmed(mp, t) {
+				res.AlarmMidplaneHours += grid.Hours()
+			}
+		}
+	}
+	// Score any trailing events past the last grid point.
+	for next < len(events) {
+		ev := events[next]
+		next++
+		alarmed := false
+		for _, mp := range ev.Midplanes {
+			if p.Alarmed(mp, ev.First) {
+				alarmed = true
+				break
+			}
+		}
+		if alarmed {
+			res.Hits++
+		} else {
+			res.Misses++
+		}
+		p.Observe(ev)
+	}
+
+	if res.Hits+res.Misses > 0 {
+		res.Recall = float64(res.Hits) / float64(res.Hits+res.Misses)
+	}
+	if res.AlarmMidplaneHours > 0 {
+		res.HitsPerAlarmDay = float64(res.Hits) / (res.AlarmMidplaneHours / 24)
+	}
+	if res.Hits > 0 {
+		res.AvoidableActionFraction = float64(res.IdleHits) / float64(res.Hits)
+	}
+	return res, nil
+}
+
+// Compare evaluates several predictors over the same stream.
+func Compare(ps []Predictor, events []*filter.Event, jobs *joblog.Log) ([]Result, error) {
+	out := make([]Result, 0, len(ps))
+	for _, p := range ps {
+		r, err := Evaluate(p, events, jobs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/raslog"
+)
+
+var t0 = time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC)
+
+func ev(code string, at time.Duration, mps ...int) *filter.Event {
+	return &filter.Event{
+		Code: code, Component: raslog.CompKernel,
+		First: t0.Add(at), Last: t0.Add(at), Midplanes: mps, Size: 1,
+	}
+}
+
+func TestChainPredictorWindow(t *testing.T) {
+	p := NewChainPredictor(2 * time.Hour)
+	p.Observe(ev("x", 0, 5))
+	if !p.Alarmed(5, t0.Add(time.Hour)) {
+		t.Error("midplane 5 should be alarmed within the window")
+	}
+	if p.Alarmed(5, t0.Add(3*time.Hour)) {
+		t.Error("alarm should lapse after the window")
+	}
+	if p.Alarmed(6, t0.Add(time.Hour)) {
+		t.Error("unrelated midplane alarmed")
+	}
+	p.Reset()
+	if p.Alarmed(5, t0.Add(time.Hour)) {
+		t.Error("Reset did not clear alarms")
+	}
+}
+
+func TestChainPredictorKeepsLatestHorizon(t *testing.T) {
+	p := NewChainPredictor(time.Hour)
+	p.Observe(ev("x", 0, 5))
+	p.Observe(ev("x", 30*time.Minute, 5))
+	if !p.Alarmed(5, t0.Add(80*time.Minute)) {
+		t.Error("second event should extend the alarm")
+	}
+}
+
+func TestRatePredictorDecay(t *testing.T) {
+	p := NewRatePredictor(time.Hour, 1.5)
+	p.Observe(ev("x", 0, 3))
+	if p.Alarmed(3, t0) {
+		t.Error("one event should not reach threshold 1.5")
+	}
+	p.Observe(ev("x", 10*time.Minute, 3))
+	if !p.Alarmed(3, t0.Add(11*time.Minute)) {
+		t.Error("two quick events should alarm")
+	}
+	// After several decay constants the alarm must clear.
+	if p.Alarmed(3, t0.Add(12*time.Hour)) {
+		t.Error("alarm should decay away")
+	}
+}
+
+func TestRatePredictorSeparateMidplanes(t *testing.T) {
+	p := NewRatePredictor(time.Hour, 0.5)
+	p.Observe(ev("x", 0, 1))
+	if p.Alarmed(2, t0.Add(time.Minute)) {
+		t.Error("midplane 2 alarmed without events")
+	}
+}
+
+func TestEvaluateChainCatchesRepeats(t *testing.T) {
+	// Three repeats at midplane 7 within the window, plus one isolated
+	// event elsewhere: chain predictor catches the repeats only.
+	events := []*filter.Event{
+		ev("a", 0, 7),
+		ev("a", 30*time.Minute, 7),
+		ev("a", 60*time.Minute, 7),
+		ev("b", 50*time.Hour, 20),
+	}
+	r, err := Evaluate(NewChainPredictor(2*time.Hour), events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hits != 2 || r.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", r.Hits, r.Misses)
+	}
+	if r.Recall != 0.5 {
+		t.Errorf("recall = %v", r.Recall)
+	}
+	if r.AlarmMidplaneHours <= 0 {
+		t.Error("no alarm time integrated")
+	}
+}
+
+func TestEvaluateBaselines(t *testing.T) {
+	events := []*filter.Event{ev("a", 0, 1), ev("a", time.Hour, 1)}
+	never, err := Evaluate(NeverPredictor{}, events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.Hits != 0 || never.Recall != 0 || never.AlarmMidplaneHours != 0 {
+		t.Errorf("never: %+v", never)
+	}
+	always, err := Evaluate(AlwaysPredictor{}, events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if always.Misses != 0 || always.Recall != 1 {
+		t.Errorf("always: %+v", always)
+	}
+	if always.AlarmMidplaneHours <= never.AlarmMidplaneHours {
+		t.Error("always must integrate more alarm time than never")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	if _, err := Evaluate(NeverPredictor{}, nil, nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestCompareOrdersAndNames(t *testing.T) {
+	events := []*filter.Event{ev("a", 0, 1), ev("a", 20*time.Minute, 1)}
+	ps := []Predictor{NeverPredictor{}, NewChainPredictor(time.Hour), AlwaysPredictor{}}
+	rs, err := Compare(ps, events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].Predictor != "never" || rs[2].Predictor != "always" {
+		t.Errorf("names = %v, %v", rs[0].Predictor, rs[2].Predictor)
+	}
+	if !(rs[1].Recall > rs[0].Recall) {
+		t.Error("chain should beat never on this stream")
+	}
+	// Efficiency: chain buys its recall with far less alarm budget than
+	// always.
+	if rs[1].AlarmMidplaneHours >= rs[2].AlarmMidplaneHours {
+		t.Error("chain should use less alarm time than always")
+	}
+}

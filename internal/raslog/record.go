@@ -1,0 +1,253 @@
+// Package raslog models the Blue Gene/P RAS (Reliability, Availability,
+// Serviceability) event log produced by the Core Monitoring and Control
+// System (CMCS): the record schema, the event-time format, a streaming
+// line-oriented serialization, and an in-memory store with the query
+// operations the co-analysis pipeline needs.
+package raslog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Severity is the RAS severity ladder. DEBUG and TRACE exist in the
+// CMCS schema but do not occur in the Intrepid log studied by the
+// paper; only FATAL presumably leads to application or system crash.
+type Severity int
+
+const (
+	// SevUnknown is the zero value.
+	SevUnknown Severity = iota
+	// SevDebug designates code-debugging information (absent on Intrepid).
+	SevDebug
+	// SevTrace designates tracing information (absent on Intrepid).
+	SevTrace
+	// SevInfo reports system-software progress, e.g. automatic recovery.
+	SevInfo
+	// SevWarning reports recoverable soft errors, e.g. ECC-correctable
+	// single-symbol errors.
+	SevWarning
+	// SevError reports harmful events that may still let the application
+	// continue, e.g. failure of a redundant component.
+	SevError
+	// SevFatal reports events that presumably crash the application or
+	// system. The co-analysis pipeline consumes only these.
+	SevFatal
+)
+
+var severityNames = map[Severity]string{
+	SevDebug: "DEBUG", SevTrace: "TRACE", SevInfo: "INFO",
+	SevWarning: "WARNING", SevError: "ERROR", SevFatal: "FATAL",
+}
+
+// String returns the CMCS spelling of the severity.
+func (s Severity) String() string {
+	if n, ok := severityNames[s]; ok {
+		return n
+	}
+	return "UNKNOWN"
+}
+
+// ParseSeverity parses the CMCS spelling of a severity.
+func ParseSeverity(s string) (Severity, error) {
+	for sev, name := range severityNames {
+		if name == s {
+			return sev, nil
+		}
+	}
+	return SevUnknown, fmt.Errorf("raslog: unknown severity %q", s)
+}
+
+// Component is the software component that detected and reported an
+// event.
+type Component int
+
+const (
+	// CompUnknown is the zero value.
+	CompUnknown Component = iota
+	// CompApplication indicates the running job.
+	CompApplication
+	// CompKernel indicates the OS kernel domain (compute-node kernel).
+	CompKernel
+	// CompMC designates the machine controller.
+	CompMC
+	// CompMMCS designates the control system on the service node.
+	CompMMCS
+	// CompBareMetal designates service-related facilities.
+	CompBareMetal
+	// CompCard indicates a card controller.
+	CompCard
+	// CompDiags refers to diagnostic functions on compute or service nodes.
+	CompDiags
+)
+
+var componentNames = map[Component]string{
+	CompApplication: "APPLICATION", CompKernel: "KERNEL", CompMC: "MC",
+	CompMMCS: "MMCS", CompBareMetal: "BAREMETAL", CompCard: "CARD",
+	CompDiags: "DIAGS",
+}
+
+// Components lists all reporting components in a stable order.
+var Components = []Component{
+	CompApplication, CompKernel, CompMC, CompMMCS, CompBareMetal, CompCard, CompDiags,
+}
+
+// String returns the CMCS spelling of the component.
+func (c Component) String() string {
+	if n, ok := componentNames[c]; ok {
+		return n
+	}
+	return "UNKNOWN"
+}
+
+// ParseComponent parses the CMCS spelling of a component.
+func ParseComponent(s string) (Component, error) {
+	for c, name := range componentNames {
+		if name == s {
+			return c, nil
+		}
+	}
+	return CompUnknown, fmt.Errorf("raslog: unknown component %q", s)
+}
+
+// EventTimeLayout is the CMCS timestamp format, e.g.
+// "2008-04-14-15.08.12.285324".
+const EventTimeLayout = "2006-01-02-15.04.05.000000"
+
+// FormatEventTime renders t in the CMCS timestamp format (UTC).
+func FormatEventTime(t time.Time) string {
+	return t.UTC().Format(EventTimeLayout)
+}
+
+// ParseEventTime parses a CMCS timestamp.
+func ParseEventTime(s string) (time.Time, error) {
+	return time.Parse(EventTimeLayout, s)
+}
+
+// Record is one RAS event record, mirroring the fields of the Intrepid
+// DB2 schema the paper enumerates (Table II).
+type Record struct {
+	// RecID is the sequence number of the record in the log.
+	RecID int64
+	// MsgID indicates the source of the message, e.g. "KERN_0802".
+	MsgID string
+	// Component is the reporting software component.
+	Component Component
+	// SubComponent is the functional area within the component.
+	SubComponent string
+	// ErrCode is the fine-grained event type, e.g.
+	// "_bgp_err_cns_ras_storm_fatal". Events sharing an ErrCode are one
+	// event type for the purposes of the methodology.
+	ErrCode string
+	// Severity is the reported severity level.
+	Severity Severity
+	// EventTime is the start time of the event.
+	EventTime time.Time
+	// Flags carries the control-system event listener, e.g.
+	// "DefaultControlEventListener".
+	Flags string
+	// Location is the raw CMCS location code where the event occurred,
+	// e.g. "R23-M0-N08-J09".
+	Location string
+	// Serial is the serial number of the implicated hardware.
+	Serial string
+	// Message is a brief prose description of the event condition.
+	Message string
+}
+
+// Fatal reports whether the record carries FATAL severity.
+func (r Record) Fatal() bool { return r.Severity == SevFatal }
+
+const numFields = 11
+
+// fieldSep separates fields in the line serialization. The message
+// field is last so embedded separators would be unambiguous anyway, but
+// we escape them for robustness.
+const fieldSep = "|"
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, fieldSep, `\p`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'p':
+				b.WriteString(fieldSep)
+			case 'n':
+				b.WriteString("\n")
+			case '\\':
+				b.WriteString(`\`)
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// MarshalLine renders the record as one line of the log file.
+func (r Record) MarshalLine() string {
+	fields := []string{
+		fmt.Sprintf("%d", r.RecID),
+		escape(r.MsgID),
+		r.Component.String(),
+		escape(r.SubComponent),
+		escape(r.ErrCode),
+		r.Severity.String(),
+		FormatEventTime(r.EventTime),
+		escape(r.Flags),
+		escape(r.Location),
+		escape(r.Serial),
+		escape(r.Message),
+	}
+	return strings.Join(fields, fieldSep)
+}
+
+// ErrBadRecord reports an unparseable RAS log line.
+var ErrBadRecord = errors.New("raslog: bad record line")
+
+// UnmarshalLine parses one line of the log file.
+func UnmarshalLine(line string) (Record, error) {
+	parts := strings.Split(line, fieldSep)
+	if len(parts) != numFields {
+		return Record{}, fmt.Errorf("%w: %d fields, want %d", ErrBadRecord, len(parts), numFields)
+	}
+	var r Record
+	if _, err := fmt.Sscanf(parts[0], "%d", &r.RecID); err != nil {
+		return Record{}, fmt.Errorf("%w: recid %q", ErrBadRecord, parts[0])
+	}
+	r.MsgID = unescape(parts[1])
+	comp, err := ParseComponent(parts[2])
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	r.Component = comp
+	r.SubComponent = unescape(parts[3])
+	r.ErrCode = unescape(parts[4])
+	sev, err := ParseSeverity(parts[5])
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	r.Severity = sev
+	t, err := ParseEventTime(parts[6])
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: event time %q", ErrBadRecord, parts[6])
+	}
+	r.EventTime = t
+	r.Flags = unescape(parts[7])
+	r.Location = unescape(parts[8])
+	r.Serial = unescape(parts[9])
+	r.Message = unescape(parts[10])
+	return r, nil
+}

@@ -1,0 +1,224 @@
+package raslog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Writer streams records to an underlying io.Writer, one line each.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one record. Errors are sticky.
+func (w *Writer) Write(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.WriteString(r.MarshalLine()); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader streams records from an underlying io.Reader.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	return &Reader{s: s}
+}
+
+// Read returns the next record, or io.EOF at end of input.
+func (r *Reader) Read() (Record, error) {
+	for r.s.Scan() {
+		r.line++
+		line := r.s.Text()
+		if line == "" {
+			continue
+		}
+		rec, err := UnmarshalLine(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return rec, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll drains the reader into a slice.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Store is an in-memory ordered collection of RAS records with the
+// query operations the pipeline needs. It stands in for the DB2
+// backend of the real CMCS.
+type Store struct {
+	recs []Record
+}
+
+// NewStore returns a store over recs; the records are sorted by
+// (EventTime, RecID) so downstream interarrival analysis sees a
+// time-ordered stream.
+func NewStore(recs []Record) *Store {
+	s := &Store{recs: append([]Record(nil), recs...)}
+	sort.SliceStable(s.recs, func(i, j int) bool {
+		if !s.recs[i].EventTime.Equal(s.recs[j].EventTime) {
+			return s.recs[i].EventTime.Before(s.recs[j].EventTime)
+		}
+		return s.recs[i].RecID < s.recs[j].RecID
+	})
+	return s
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int { return len(s.recs) }
+
+// All returns the time-ordered records (shared slice; callers must not
+// mutate).
+func (s *Store) All() []Record { return s.recs }
+
+// Fatal returns the time-ordered records with FATAL severity.
+func (s *Store) Fatal() []Record {
+	var out []Record
+	for _, r := range s.recs {
+		if r.Fatal() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BySeverity returns a count per severity.
+func (s *Store) BySeverity() map[Severity]int {
+	m := make(map[Severity]int)
+	for _, r := range s.recs {
+		m[r.Severity]++
+	}
+	return m
+}
+
+// ByComponent returns a count per component over records matching sev
+// (use SevUnknown for all severities).
+func (s *Store) ByComponent(sev Severity) map[Component]int {
+	m := make(map[Component]int)
+	for _, r := range s.recs {
+		if sev != SevUnknown && r.Severity != sev {
+			continue
+		}
+		m[r.Component]++
+	}
+	return m
+}
+
+// ErrCodes returns the distinct ErrCodes among records matching sev
+// (use SevUnknown for all), sorted.
+func (s *Store) ErrCodes(sev Severity) []string {
+	set := make(map[string]bool)
+	for _, r := range s.recs {
+		if sev != SevUnknown && r.Severity != sev {
+			continue
+		}
+		set[r.ErrCode] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TimeRange returns records with EventTime in [from, to).
+func (s *Store) TimeRange(from, to time.Time) []Record {
+	lo := sort.Search(len(s.recs), func(i int) bool {
+		return !s.recs[i].EventTime.Before(from)
+	})
+	hi := sort.Search(len(s.recs), func(i int) bool {
+		return !s.recs[i].EventTime.Before(to)
+	})
+	return s.recs[lo:hi]
+}
+
+// Span returns the first and last event times, or zero times if empty.
+func (s *Store) Span() (first, last time.Time) {
+	if len(s.recs) == 0 {
+		return
+	}
+	return s.recs[0].EventTime, s.recs[len(s.recs)-1].EventTime
+}
+
+// Midplanes maps each record index to the global midplane indices the
+// record's location touches; records with unparseable or rack-level
+// locations resolve via bgp.Location.Midplanes semantics, and records
+// whose location cannot be parsed at all yield nil.
+func RecordMidplanes(r Record) []int {
+	loc, err := bgp.ParseLocation(r.Location)
+	if err != nil {
+		return nil
+	}
+	return loc.Midplanes()
+}
+
+// CountByMidplane tallies records per global midplane index. Records
+// spanning a rack count toward both midplanes.
+func (s *Store) CountByMidplane(sev Severity) [bgp.NumMidplanes]int {
+	var out [bgp.NumMidplanes]int
+	for _, r := range s.recs {
+		if sev != SevUnknown && r.Severity != sev {
+			continue
+		}
+		for _, mp := range RecordMidplanes(r) {
+			out[mp]++
+		}
+	}
+	return out
+}

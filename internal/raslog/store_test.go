@@ -1,0 +1,132 @@
+package raslog
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkRecord(id int64, sev Severity, comp Component, code, loc string, at time.Time) Record {
+	return Record{
+		RecID: id, MsgID: "M", Component: comp, SubComponent: "S",
+		ErrCode: code, Severity: sev, EventTime: at, Flags: "F",
+		Location: loc, Serial: "SN", Message: "msg",
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	t0 := time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC)
+	recs := []Record{
+		mkRecord(1, SevFatal, CompKernel, "a", "R00-M0", t0),
+		mkRecord(2, SevInfo, CompMMCS, "b", "R00-M1", t0.Add(time.Second)),
+		mkRecord(3, SevWarning, CompCard, "c", "R01", t0.Add(2*time.Second)),
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReaderSkipsBlankAndReportsLine(t *testing.T) {
+	line := mkRecord(1, SevFatal, CompKernel, "a", "R00-M0", time.Unix(0, 0).UTC()).MarshalLine()
+	in := line + "\n\n" + "garbage\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	_, err := r.Read()
+	if err == nil || err == io.EOF {
+		t.Fatalf("want parse error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should name line 3: %v", err)
+	}
+}
+
+func TestStoreOrderingAndQueries(t *testing.T) {
+	t0 := time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC)
+	recs := []Record{
+		mkRecord(3, SevFatal, CompKernel, "x", "R00-M1", t0.Add(2*time.Hour)),
+		mkRecord(1, SevFatal, CompKernel, "x", "R00-M0", t0),
+		mkRecord(2, SevInfo, CompMMCS, "y", "R00-M0", t0.Add(time.Hour)),
+		mkRecord(4, SevFatal, CompCard, "z", "R01", t0.Add(3*time.Hour)),
+	}
+	s := NewStore(recs)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	all := s.All()
+	for i := 1; i < len(all); i++ {
+		if all[i].EventTime.Before(all[i-1].EventTime) {
+			t.Fatal("store not time-ordered")
+		}
+	}
+	if got := len(s.Fatal()); got != 3 {
+		t.Errorf("Fatal count = %d, want 3", got)
+	}
+	if got := s.BySeverity()[SevFatal]; got != 3 {
+		t.Errorf("BySeverity[FATAL] = %d", got)
+	}
+	if got := s.ByComponent(SevFatal)[CompKernel]; got != 2 {
+		t.Errorf("ByComponent(FATAL)[KERNEL] = %d", got)
+	}
+	codes := s.ErrCodes(SevFatal)
+	if len(codes) != 2 || codes[0] != "x" || codes[1] != "z" {
+		t.Errorf("ErrCodes(FATAL) = %v", codes)
+	}
+	tr := s.TimeRange(t0.Add(30*time.Minute), t0.Add(150*time.Minute))
+	if len(tr) != 2 {
+		t.Errorf("TimeRange len = %d, want 2", len(tr))
+	}
+	first, last := s.Span()
+	if !first.Equal(t0) || !last.Equal(t0.Add(3*time.Hour)) {
+		t.Errorf("Span = %v..%v", first, last)
+	}
+}
+
+func TestStoreSpanEmpty(t *testing.T) {
+	s := NewStore(nil)
+	first, last := s.Span()
+	if !first.IsZero() || !last.IsZero() {
+		t.Error("empty span should be zero")
+	}
+}
+
+func TestCountByMidplane(t *testing.T) {
+	t0 := time.Unix(0, 0).UTC()
+	recs := []Record{
+		mkRecord(1, SevFatal, CompKernel, "x", "R00-M0", t0),         // mp 0
+		mkRecord(2, SevFatal, CompKernel, "x", "R00-M0-N03-J01", t0), // mp 0
+		mkRecord(3, SevFatal, CompKernel, "x", "R01", t0),            // mps 2,3
+		mkRecord(4, SevFatal, CompKernel, "x", "not-a-location", t0), // none
+		mkRecord(5, SevInfo, CompKernel, "x", "R00-M1", t0),          // filtered out
+	}
+	s := NewStore(recs)
+	counts := s.CountByMidplane(SevFatal)
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 1 || counts[3] != 1 {
+		t.Errorf("counts[0..3] = %d %d %d %d", counts[0], counts[1], counts[2], counts[3])
+	}
+}

@@ -1,0 +1,699 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/errcat"
+	"repro/internal/faultgen"
+	"repro/internal/joblog"
+	"repro/internal/workload"
+)
+
+// evKind enumerates the discrete-event types.
+type evKind int
+
+const (
+	evSubmit evKind = iota
+	evStart
+	evEnd
+	evKill
+	evFaultCand
+	evRepair
+	evExpire // a partition hold lapsed; retry scheduling
+)
+
+// event is one heap entry. Payload fields are used per kind.
+type event struct {
+	at   time.Time
+	seq  int64
+	kind evKind
+
+	// evSubmit
+	exec       int
+	runtime    time.Duration
+	resubmitOf int64
+	chainFails int
+	prev       bgp.Partition
+	hasPrev    bool
+	tryPrev    bool
+
+	// evStart / evEnd / evKill
+	runID int64
+
+	// evKill (realloc and bug kills)
+	code     errcat.Code
+	mp       int
+	faultGen int64
+	isBug    bool
+
+	// evRepair
+	repairGen int64
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// run is one scheduled job instance.
+type run struct {
+	runID, jobID int64
+	exec         int
+	part         bgp.Partition
+	queueT       time.Time
+	startT       time.Time
+	runtime      time.Duration
+	resubmitOf   int64
+	chainFails   int
+	started      bool
+	done         bool
+	samePart     bool
+}
+
+// waiting is one queued submission.
+type waiting struct {
+	exec       int
+	runtime    time.Duration
+	queueT     time.Time
+	resubmitOf int64
+	chainFails int
+	prev       bgp.Partition
+	hasPrev    bool
+	// tryPrev is the once-per-submission decision to prefer the
+	// previous partition.
+	tryPrev bool
+}
+
+// faultState tracks a sticky failure on a midplane.
+type faultState struct {
+	code     errcat.Code
+	gen      int64
+	repairAt time.Time
+}
+
+// hold reserves a just-freed partition's midplanes for the interrupted
+// executable's expected resubmission, modelling Cobalt's per-partition
+// queue affinity on Intrepid (the mechanism behind the paper's 57.44%
+// same-partition resubmissions).
+type hold struct {
+	exec  int
+	until time.Time
+}
+
+// engine is the discrete-event simulator.
+type engine struct {
+	cfg   Config
+	model *faultgen.Model
+	emit  *faultgen.Emitter
+	execs []workload.ExecSpec
+	rng   *rand.Rand
+
+	now   time.Time
+	start time.Time
+	end   time.Time
+	heap  eventHeap
+	seq   int64
+
+	machine *bgp.Machine
+	mpOwner [bgp.NumMidplanes]*run
+	faulty  map[int]*faultState
+	genSeq  int64
+
+	queue    []*waiting
+	running  map[int64]*run
+	nextID   int64
+	bugCount map[int]int
+	held     map[int]hold
+
+	// reservation state for draining ahead of wide jobs
+	reserved    [bgp.NumMidplanes]bool
+	reserver    *waiting
+	reservePart bgp.Partition
+
+	// wear tracks each midplane's decaying wide-exposure for the fault
+	// model: wearE is the exposure in hours as of wearT.
+	wearE [bgp.NumMidplanes]float64
+	wearT [bgp.NumMidplanes]time.Time
+
+	// envMult is the per-day environment hazard multiplier table.
+	envMult []float64
+
+	jobs  []joblog.Job
+	truth GroundTruth
+}
+
+// Run simulates the campaign described by the workload generator under
+// the scheduler configuration and fault model, returning both logs and
+// the ground truth.
+func Run(cfg Config, gen *workload.Generator, model *faultgen.Model, emitCfg faultgen.EmitterConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	spec := gen.Spec()
+	e := &engine{
+		cfg:      cfg,
+		model:    model,
+		emit:     faultgen.NewEmitter(emitCfg, cfg.Seed^0x5eed),
+		execs:    gen.Executables(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		start:    spec.Start,
+		end:      spec.Start.Add(time.Duration(spec.Days) * 24 * time.Hour),
+		machine:  bgp.NewMachine(),
+		faulty:   make(map[int]*faultState),
+		running:  make(map[int64]*run),
+		nextID:   1,
+		bugCount: make(map[int]int),
+		held:     make(map[int]hold),
+	}
+	e.truth.Outcomes = make(map[int64]Outcome)
+	e.envMult = model.EnvMultipliers(e.rng, spec.Days+30)
+
+	for _, s := range gen.Submissions() {
+		e.push(&event{at: s.At, kind: evSubmit, exec: s.Exec, runtime: s.Runtime})
+	}
+	e.push(&event{at: e.start.Add(e.model.DrawCandidateGap(e.rng)), kind: evFaultCand})
+
+	for e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		e.now = ev.at
+		e.dispatch(ev)
+	}
+	if len(e.running) > 0 || (len(e.queue) > 0 && e.reserver == nil) {
+		return nil, fmt.Errorf("sched: simulation drained with %d running, %d queued", len(e.running), len(e.queue))
+	}
+
+	nFatalStorm := len(e.emit.Records())
+	e.emit.EmitNoise(e.start, e.end, nFatalStorm)
+	recs := faultgen.Renumber(e.emit.Records())
+
+	return &Result{
+		Jobs:    e.jobs,
+		Records: recs,
+		Truth:   e.truth,
+		Start:   e.start,
+		End:     e.end,
+	}, nil
+}
+
+func (e *engine) push(ev *event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.heap, ev)
+}
+
+func (e *engine) dispatch(ev *event) {
+	switch ev.kind {
+	case evSubmit:
+		e.onSubmit(ev)
+	case evStart:
+		e.onStart(ev)
+	case evEnd:
+		e.onEnd(ev)
+	case evKill:
+		e.onKill(ev)
+	case evFaultCand:
+		e.onFaultCandidate()
+	case evRepair:
+		e.onRepair(ev)
+	case evExpire:
+		e.trySchedule()
+	}
+}
+
+func (e *engine) onSubmit(ev *event) {
+	e.queue = append(e.queue, &waiting{
+		exec: ev.exec, runtime: ev.runtime, queueT: e.now,
+		resubmitOf: ev.resubmitOf, chainFails: ev.chainFails,
+		prev: ev.prev, hasPrev: ev.hasPrev, tryPrev: ev.tryPrev,
+	})
+	e.trySchedule()
+}
+
+// reserveWindow picks the aligned window for a starving wide job,
+// minimizing the longest remaining occupant runtime and preferring the
+// wide region.
+func (e *engine) reserveWindow(size int) bgp.Partition {
+	align := size
+	if size == 48 || size == 80 {
+		align = 16
+	}
+	best := bgp.Partition{Start: 0, Size: size}
+	bestScore := time.Duration(-1)
+	bestOv := -1
+	for start := 0; start+size <= bgp.NumMidplanes; start += align {
+		p := bgp.Partition{Start: start, Size: size}
+		var worst time.Duration
+		for mp := p.Start; mp < p.End(); mp++ {
+			if r := e.mpOwner[mp]; r != nil {
+				var rem time.Duration
+				if r.started {
+					rem = r.startT.Add(r.runtime).Sub(e.now)
+				} else {
+					rem = r.runtime + e.cfg.BootDelay
+				}
+				if rem > worst {
+					worst = rem
+				}
+			}
+		}
+		ov := overlap(p, wideRegionLo, wideRegionHi)
+		if bestScore < 0 || worst < bestScore || (worst == bestScore && ov > bestOv) {
+			best, bestScore, bestOv = p, worst, ov
+		}
+	}
+	return best
+}
+
+// reserveAfter is how long a wide job waits before the scheduler starts
+// draining a window for it.
+const reserveAfter = 15 * time.Minute
+
+func (e *engine) trySchedule() {
+	// Maintain at most one drain reservation, for the oldest starving
+	// wide job.
+	if e.reserver == nil {
+		for _, w := range e.queue {
+			if e.execs[w.exec].Size >= 32 && e.now.Sub(w.queueT) > reserveAfter {
+				e.reserver = w
+				e.reservePart = e.reserveWindow(e.execs[w.exec].Size)
+				for mp := e.reservePart.Start; mp < e.reservePart.End(); mp++ {
+					e.reserved[mp] = true
+				}
+				break
+			}
+		}
+	}
+
+	// Single pass: startRun only ever shrinks capacity, so a job that
+	// fails to place cannot newly fit later in the same pass. A per-size
+	// memo prunes repeated policy scans for saturated widths; the
+	// previous-partition and reservation paths are job-specific and
+	// bypass the memo.
+	failedSize := make(map[int]bool)
+	kept := e.queue[:0]
+	for _, w := range e.queue {
+		part, ok := e.placeFor(w, failedSize)
+		if ok {
+			e.startRun(w, part)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	e.queue = kept
+}
+
+// placeFor returns the partition w should run on, honouring drain
+// reservations, partition holds, previous-partition affinity, and the
+// region policy. failedSize memoizes widths whose policy scan already
+// failed in this pass.
+func (e *engine) placeFor(w *waiting, failedSize map[int]bool) (bgp.Partition, bool) {
+	if w == e.reserver {
+		if e.machine.Free(e.reservePart) && !e.blocked(e.reservePart, w) {
+			return e.reservePart, true
+		}
+		return bgp.Partition{}, false
+	}
+	size := e.execs[w.exec].Size
+	if w.tryPrev && w.prev.Size == size &&
+		e.machine.Free(w.prev) && !e.blocked(w.prev, w) {
+		return w.prev, true
+	}
+	if failedSize[size] {
+		return bgp.Partition{}, false
+	}
+	var avail []bgp.Partition
+	for _, c := range e.machine.Candidates(size) {
+		if !e.blocked(c, w) {
+			avail = append(avail, c)
+		}
+	}
+	p, ok := pickByPolicy(avail, e.rng, size)
+	if !ok {
+		failedSize[size] = true
+	}
+	return p, ok
+}
+
+// blocked reports whether partition p is off-limits for w because of a
+// drain reservation or a foreign partition hold.
+func (e *engine) blocked(p bgp.Partition, w *waiting) bool {
+	for mp := p.Start; mp < p.End(); mp++ {
+		if e.reserved[mp] && w != e.reserver {
+			return true
+		}
+		if h, ok := e.held[mp]; ok {
+			if h.until.Before(e.now) {
+				delete(e.held, mp)
+				continue
+			}
+			if h.exec != w.exec {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *engine) startRun(w *waiting, part bgp.Partition) {
+	if err := e.machine.Allocate(part); err != nil {
+		// Defensive: choosePartition only returns free partitions.
+		panic("sched: allocation of chosen partition failed: " + err.Error())
+	}
+	if w == e.reserver {
+		for mp := range e.reserved {
+			e.reserved[mp] = false
+		}
+		e.reserver = nil
+	}
+	r := &run{
+		runID: e.nextID, jobID: e.nextID, exec: w.exec, part: part,
+		queueT: w.queueT, runtime: w.runtime,
+		resubmitOf: w.resubmitOf, chainFails: w.chainFails,
+		samePart: w.hasPrev && part == w.prev,
+	}
+	e.nextID++
+	e.running[r.runID] = r
+	for mp := part.Start; mp < part.End(); mp++ {
+		e.mpOwner[mp] = r
+		delete(e.held, mp) // the hold (if any) is consumed or overridden
+	}
+	boot := time.Duration((0.5 + e.rng.Float64()) * float64(e.cfg.BootDelay))
+	e.push(&event{at: e.now.Add(boot), kind: evStart, runID: r.runID})
+}
+
+func (e *engine) onStart(ev *event) {
+	r := e.running[ev.runID]
+	if r == nil || r.done {
+		return
+	}
+	r.started = true
+	r.startT = e.now
+	naturalEnd := e.now.Add(r.runtime)
+	e.push(&event{at: naturalEnd, kind: evEnd, runID: r.runID})
+
+	// Earliest pending doom: a still-faulty midplane in the partition
+	// (the scheduler reallocated failed nodes), or the executable's
+	// latent bug.
+	var killAt time.Time
+	var kill *event
+	for mp := r.part.Start; mp < r.part.End(); mp++ {
+		fs := e.faulty[mp]
+		if fs == nil {
+			continue
+		}
+		at := e.now.Add(faultgen.ReallocKillDelay(e.rng))
+		if kill == nil || at.Before(killAt) {
+			killAt = at
+			kill = &event{at: at, kind: evKill, runID: r.runID, code: fs.code, mp: mp, faultGen: fs.gen}
+		}
+	}
+	ex := e.execs[r.exec]
+	if ex.Bug.Buggy() && e.bugCount[r.exec] < ex.Bug.FailRuns {
+		at := e.now.Add(ex.Bug.BugDelay(e.rng))
+		if kill == nil || at.Before(killAt) {
+			killAt = at
+			code, ok := e.model.Catalog.Lookup(ex.Bug.Code)
+			if !ok {
+				panic("sched: bug code not in catalog: " + ex.Bug.Code)
+			}
+			kill = &event{at: at, kind: evKill, runID: r.runID, code: code, mp: r.part.Start, isBug: true}
+		}
+	}
+	if kill != nil && killAt.Before(naturalEnd) {
+		e.push(kill)
+	}
+}
+
+func (e *engine) onEnd(ev *event) {
+	r := e.running[ev.runID]
+	if r == nil || r.done {
+		return
+	}
+	e.finish(r, e.now, Outcome{
+		Exec: e.execs[r.exec].Path, ResubmitOf: r.resubmitOf,
+		ChainFails: r.chainFails, SamePartition: r.samePart,
+	})
+	e.trySchedule()
+}
+
+func (e *engine) onKill(ev *event) {
+	r := e.running[ev.runID]
+	if r == nil || r.done || !r.started {
+		return
+	}
+	if !ev.isBug {
+		// Realloc kill: only fires if the midplane is still faulty with
+		// the same fault generation (the repair may have finished first).
+		fs := e.faulty[ev.mp]
+		if fs == nil || fs.gen != ev.faultGen {
+			return
+		}
+	}
+	redundant := false
+	if ev.isBug {
+		redundant = e.bugCount[r.exec] >= 1
+		e.bugCount[r.exec]++
+	} else {
+		redundant = true // re-report of an existing sticky failure
+	}
+	gf := faultgen.GroundFault{
+		Time: e.now, Code: ev.code, Midplane: ev.mp,
+		InterruptedJobs: []int64{r.jobID}, Redundant: redundant,
+	}
+	e.emit.EmitFault(e.now, ev.code, originFirst(r.part, ev.mp))
+	e.killJob(r, e.now, ev.code)
+
+	if !ev.isBug {
+		e.adminAccelerate(ev.mp)
+	}
+
+	// Spatial propagation: shared file-system application errors can
+	// interrupt other running jobs at the same time (Obs. 8).
+	if ev.code.Shared && e.rng.Float64() < e.cfg.SharedVictimProb {
+		victims := e.pickVictims(r.runID)
+		for _, v := range victims {
+			e.emit.EmitFault(e.now, ev.code, v.part.Midplanes())
+			e.killJob(v, e.now, ev.code)
+			gf.InterruptedJobs = append(gf.InterruptedJobs, v.jobID)
+		}
+	}
+	e.truth.Faults = append(e.truth.Faults, gf)
+	e.trySchedule()
+}
+
+// pickVictims selects up to SharedVictimMax other running, started jobs.
+func (e *engine) pickVictims(excludeRunID int64) []*run {
+	var pool []*run
+	for _, r := range e.running {
+		if r.runID != excludeRunID && r.started && !r.done {
+			pool = append(pool, r)
+		}
+	}
+	// Deterministic order before sampling.
+	for i := 1; i < len(pool); i++ {
+		for j := i; j > 0 && pool[j-1].runID > pool[j].runID; j-- {
+			pool[j-1], pool[j] = pool[j], pool[j-1]
+		}
+	}
+	n := 1 + e.rng.Intn(e.cfg.SharedVictimMax)
+	if n > len(pool) {
+		n = len(pool)
+	}
+	e.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool[:n]
+}
+
+// killJob finishes a run as interrupted and schedules the user's
+// resubmission.
+func (e *engine) killJob(r *run, at time.Time, code errcat.Code) {
+	e.finish(r, at, Outcome{
+		Interrupted: true, Code: code.Name, Class: code.Class,
+		Exec: e.execs[r.exec].Path, ResubmitOf: r.resubmitOf,
+		ChainFails: r.chainFails, SamePartition: r.samePart,
+	})
+	if at.After(e.end) {
+		return
+	}
+	if r.chainFails+1 > e.cfg.MaxChainResubmits {
+		return
+	}
+	if e.rng.Float64() >= e.cfg.ResubmitProb {
+		return
+	}
+	resubAt := at.Add(workload.ResubmitDelay(e.rng))
+	// Partition affinity is decided once per interruption: with
+	// probability SamePartitionProb the freed partition is held for the
+	// resubmission (Cobalt's per-partition queue affinity); otherwise
+	// the resubmission goes wherever the policy sends it.
+	affinity := e.rng.Float64() < e.cfg.SamePartitionProb
+	e.push(&event{
+		at: resubAt, kind: evSubmit,
+		exec: r.exec, runtime: r.runtime,
+		resubmitOf: r.jobID, chainFails: r.chainFails + 1,
+		prev: r.part, hasPrev: true, tryPrev: affinity,
+	})
+	if affinity {
+		until := resubAt.Add(30 * time.Minute)
+		for mp := r.part.Start; mp < r.part.End(); mp++ {
+			e.held[mp] = hold{exec: r.exec, until: until}
+		}
+		e.push(&event{at: until.Add(time.Second), kind: evExpire})
+	}
+}
+
+// adminAccelerate shortens the remaining repair of a sticky failure
+// after it interrupts yet another job: repeated interruptions attract
+// administrator attention.
+func (e *engine) adminAccelerate(mp int) {
+	fs := e.faulty[mp]
+	if fs == nil {
+		return
+	}
+	rem := fs.repairAt.Sub(e.now)
+	if rem <= 0 {
+		return
+	}
+	fs.repairAt = e.now.Add(time.Duration(float64(rem) * e.cfg.adminAccel(e.model)))
+	e.push(&event{at: fs.repairAt, kind: evRepair, mp: mp, repairGen: fs.gen})
+}
+
+// adminAccel reads the acceleration factor off the fault model.
+func (c Config) adminAccel(m *faultgen.Model) float64 { return m.AdminAccel }
+
+func (e *engine) finish(r *run, at time.Time, o Outcome) {
+	r.done = true
+	delete(e.running, r.runID)
+	wide := r.part.Size >= e.model.WideSize
+	for mp := r.part.Start; mp < r.part.End(); mp++ {
+		if e.mpOwner[mp] == r {
+			e.mpOwner[mp] = nil
+		}
+		if wide {
+			hours := at.Sub(r.startT).Hours()
+			if hours > 0 {
+				e.wearE[mp] = e.exposure(mp, at) + hours
+				e.wearT[mp] = at
+			}
+		}
+	}
+	e.machine.Release(r.part)
+	ex := e.execs[r.exec]
+	e.jobs = append(e.jobs, joblog.Job{
+		ID: r.jobID, Name: "N.A.", ExecFile: ex.Path,
+		QueueTime: r.queueT, StartTime: r.startT, EndTime: at,
+		Partition: r.part, User: ex.User, Project: ex.Project,
+	})
+	e.truth.Outcomes[r.jobID] = o
+}
+
+func (e *engine) onFaultCandidate() {
+	if e.now.Before(e.end) {
+		e.push(&event{at: e.now.Add(e.model.DrawCandidateGap(e.rng)), kind: evFaultCand})
+	}
+	mp := e.rng.Intn(bgp.NumMidplanes)
+	owner := e.mpOwner[mp]
+	hostsWide := owner != nil && owner.part.Size >= e.model.WideSize
+	hazard := e.model.HazardAt(mp, hostsWide, e.exposure(mp, e.now)) * e.envAt(e.now)
+	if e.rng.Float64() >= hazard/e.model.MaxHazard() {
+		return
+	}
+	code := e.model.DrawSystemCode(e.rng)
+	victim := owner
+	victimRunning := victim != nil && victim.started && !victim.done
+
+	if !code.Interrupting {
+		// False-fatal alarm: FATAL record, jobs keep running.
+		e.truth.Faults = append(e.truth.Faults, faultgen.GroundFault{
+			Time: e.now, Code: code, Midplane: mp, Idle: !victimRunning,
+		})
+		e.emit.EmitFault(e.now, code, []int{mp})
+		return
+	}
+
+	if code.Sticky {
+		if _, already := e.faulty[mp]; !already {
+			e.genSeq++
+			fs := &faultState{code: code, gen: e.genSeq, repairAt: e.now.Add(e.model.DrawRepair(e.rng))}
+			e.faulty[mp] = fs
+			e.push(&event{at: fs.repairAt, kind: evRepair, mp: mp, repairGen: fs.gen})
+		}
+	}
+
+	gf := faultgen.GroundFault{Time: e.now, Code: code, Midplane: mp, Idle: !victimRunning}
+	if victimRunning {
+		killAt := e.now.Add(faultgen.DetectionDelay(e.rng))
+		gf.InterruptedJobs = []int64{victim.jobID}
+		e.emit.EmitFault(e.now, code, originFirst(victim.part, mp))
+		e.killJob(victim, killAt, code)
+		e.trySchedule()
+	} else {
+		e.emit.EmitFault(e.now, code, []int{mp})
+	}
+	e.truth.Faults = append(e.truth.Faults, gf)
+}
+
+// originFirst returns the partition's midplanes with the fault origin
+// mp moved to the front, so the emitter's storm throttling never drops
+// the faulty location itself.
+func originFirst(p bgp.Partition, mp int) []int {
+	mps := p.Midplanes()
+	for i, m := range mps {
+		if m == mp {
+			mps[0], mps[i] = mps[i], mps[0]
+			break
+		}
+	}
+	return mps
+}
+
+// envAt returns the environment hazard multiplier in effect at time t.
+func (e *engine) envAt(t time.Time) float64 {
+	d := t.Sub(e.start)
+	if d < 0 {
+		return 1
+	}
+	day := int(d.Hours() / 24)
+	if day >= len(e.envMult) {
+		return 1
+	}
+	return e.envMult[day]
+}
+
+// exposure returns midplane mp's wide-exposure hours decayed to time t.
+func (e *engine) exposure(mp int, t time.Time) float64 {
+	if e.wearE[mp] == 0 {
+		return 0
+	}
+	dt := t.Sub(e.wearT[mp])
+	if dt <= 0 {
+		return e.wearE[mp]
+	}
+	return e.wearE[mp] * math.Exp(-dt.Hours()/e.model.WearTau.Hours())
+}
+
+func (e *engine) onRepair(ev *event) {
+	fs := e.faulty[ev.mp]
+	if fs == nil || fs.gen != ev.repairGen {
+		return
+	}
+	if fs.repairAt.After(e.now) {
+		return // superseded by an accelerated (or original) later event
+	}
+	delete(e.faulty, ev.mp)
+}

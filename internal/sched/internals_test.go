@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/errcat"
+	"repro/internal/faultgen"
+)
+
+func testEngine(t *testing.T) *engine {
+	t.Helper()
+	cat := errcat.Intrepid()
+	model := faultgen.DefaultModel(cat)
+	e := &engine{
+		cfg:     DefaultConfig(1),
+		model:   model,
+		machine: bgp.NewMachine(),
+		faulty:  make(map[int]*faultState),
+		held:    make(map[int]hold),
+		start:   time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC),
+	}
+	e.now = e.start
+	e.end = e.start.Add(30 * 24 * time.Hour)
+	e.envMult = []float64{2, 0.5, 1}
+	return e
+}
+
+func TestOriginFirst(t *testing.T) {
+	p := bgp.Partition{Start: 8, Size: 4}
+	mps := originFirst(p, 10)
+	if mps[0] != 10 {
+		t.Errorf("origin not first: %v", mps)
+	}
+	if len(mps) != 4 {
+		t.Errorf("wrong length: %v", mps)
+	}
+	seen := map[int]bool{}
+	for _, mp := range mps {
+		seen[mp] = true
+	}
+	for mp := 8; mp < 12; mp++ {
+		if !seen[mp] {
+			t.Errorf("midplane %d missing: %v", mp, mps)
+		}
+	}
+	// Origin outside the partition leaves order untouched.
+	mps = originFirst(p, 50)
+	if mps[0] != 8 {
+		t.Errorf("foreign origin reordered: %v", mps)
+	}
+}
+
+func TestEnvAt(t *testing.T) {
+	e := testEngine(t)
+	if got := e.envAt(e.start.Add(time.Hour)); got != 2 {
+		t.Errorf("day 0 multiplier = %v, want 2", got)
+	}
+	if got := e.envAt(e.start.Add(25 * time.Hour)); got != 0.5 {
+		t.Errorf("day 1 multiplier = %v, want 0.5", got)
+	}
+	// Before the campaign or past the table: neutral.
+	if got := e.envAt(e.start.Add(-time.Hour)); got != 1 {
+		t.Errorf("pre-campaign multiplier = %v, want 1", got)
+	}
+	if got := e.envAt(e.start.Add(1000 * 24 * time.Hour)); got != 1 {
+		t.Errorf("post-table multiplier = %v, want 1", got)
+	}
+}
+
+func TestExposureDecay(t *testing.T) {
+	e := testEngine(t)
+	e.wearE[5] = 4
+	e.wearT[5] = e.now
+	if got := e.exposure(5, e.now); got != 4 {
+		t.Errorf("exposure now = %v", got)
+	}
+	later := e.now.Add(e.model.WearTau)
+	got := e.exposure(5, later)
+	if got > 4/2.5 || got < 4/3 { // e^-1 ≈ 0.368
+		t.Errorf("exposure after one tau = %v, want ~%v", got, 4*0.368)
+	}
+	if e.exposure(6, e.now) != 0 {
+		t.Error("untouched midplane has exposure")
+	}
+}
+
+func TestBlockedByHoldAndReservation(t *testing.T) {
+	e := testEngine(t)
+	p := bgp.Partition{Start: 0, Size: 2}
+	wMine := &waiting{exec: 1}
+	wOther := &waiting{exec: 2}
+
+	// Hold for exec 1 blocks exec 2 but not exec 1.
+	e.held[0] = hold{exec: 1, until: e.now.Add(time.Hour)}
+	if e.blocked(p, wMine) {
+		t.Error("own hold blocked the holder")
+	}
+	if !e.blocked(p, wOther) {
+		t.Error("foreign hold did not block")
+	}
+	// Expired holds are cleared lazily.
+	e.now = e.now.Add(2 * time.Hour)
+	if e.blocked(p, wOther) {
+		t.Error("expired hold still blocks")
+	}
+	if _, still := e.held[0]; still {
+		t.Error("expired hold not deleted")
+	}
+
+	// Reservations block everyone but the reserver.
+	e.reserver = wMine
+	e.reserved[1] = true
+	if !e.blocked(p, wOther) {
+		t.Error("reservation did not block")
+	}
+	if e.blocked(p, wMine) {
+		t.Error("reservation blocked the reserver")
+	}
+}
+
+func TestReserveWindowPrefersShortRemaining(t *testing.T) {
+	e := testEngine(t)
+	// Occupy the wide-region window with a long job and an alternative
+	// window with a short one; the reservation should pick the short.
+	long := &run{runID: 1, part: bgp.Partition{Start: 32, Size: 32}, started: true,
+		startT: e.now, runtime: 100 * time.Hour}
+	short := &run{runID: 2, part: bgp.Partition{Start: 0, Size: 32}, started: true,
+		startT: e.now, runtime: 30 * time.Minute}
+	for mp := 32; mp < 64; mp++ {
+		e.mpOwner[mp] = long
+	}
+	for mp := 0; mp < 32; mp++ {
+		e.mpOwner[mp] = short
+	}
+	win := e.reserveWindow(32)
+	if win.Start != 0 {
+		t.Errorf("reserveWindow picked start %d, want 0 (shortest remaining occupant)", win.Start)
+	}
+	// On an empty machine the wide region wins the tie.
+	e2 := testEngine(t)
+	win = e2.reserveWindow(32)
+	if win.Start != 32 {
+		t.Errorf("empty-machine reservation start %d, want 32 (wide region)", win.Start)
+	}
+}
+
+func TestPickVictimsDeterministicBound(t *testing.T) {
+	e := testEngine(t)
+	e.running = map[int64]*run{}
+	for i := int64(1); i <= 5; i++ {
+		e.running[i] = &run{runID: i, started: true}
+	}
+	e.rng = newTestRand(7)
+	v := e.pickVictims(1)
+	if len(v) < 1 || len(v) > e.cfg.SharedVictimMax {
+		t.Fatalf("victims = %d, want 1..%d", len(v), e.cfg.SharedVictimMax)
+	}
+	for _, r := range v {
+		if r.runID == 1 {
+			t.Error("excluded run selected as victim")
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/bgp"
+)
+
+// Placement policy: Intrepid steered small jobs to the outer midplanes
+// (65–80 in the paper's 1-indexed numbering, plus short jobs on
+// midplanes 1–2) and reserved the middle of the machine for wide
+// capability jobs. The result is the inconsistent per-midplane workload
+// the paper documents in Figure 4: raw workload peaks where small jobs
+// run, while wide-job workload — and with it the fatal-event count —
+// concentrates on midplanes 33–64 (0-indexed 32–63).
+const (
+	wideRegionLo = 32
+	wideRegionHi = 64
+	smallRegion  = 64 // small jobs prefer [64, 80)
+	shortRegion  = 4  // and the first two racks [0, 4)
+)
+
+// randIn picks uniformly among the candidates satisfying keep.
+func randIn(cands []bgp.Partition, rng *rand.Rand, keep func(bgp.Partition) bool) (bgp.Partition, bool) {
+	n := 0
+	var pick bgp.Partition
+	for _, c := range cands {
+		if !keep(c) {
+			continue
+		}
+		n++
+		if rng.Intn(n) == 0 {
+			pick = c
+		}
+	}
+	return pick, n > 0
+}
+
+// overlap returns the midplane overlap of partition p with [lo, hi).
+func overlap(p bgp.Partition, lo, hi int) int {
+	a, b := p.Start, p.End()
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if b <= a {
+		return 0
+	}
+	return b - a
+}
+
+// pickByPolicy applies the region policy to the (already filtered) free
+// candidates for a job of the given width.
+func pickByPolicy(cands []bgp.Partition, rng *rand.Rand, size int) (bgp.Partition, bool) {
+	if len(cands) == 0 {
+		return bgp.Partition{}, false
+	}
+	switch {
+	case size >= 32:
+		// Maximize overlap with the wide region; ties to the highest
+		// start so 48/64-wide blocks sit over [32, 64).
+		best := cands[0]
+		bestOv := -1
+		for _, c := range cands {
+			ov := overlap(c, wideRegionLo, wideRegionHi)
+			if ov > bestOv || (ov == bestOv && c.Start > best.Start) {
+				best, bestOv = c, ov
+			}
+		}
+		return best, true
+	case size <= 2:
+		// Small jobs are confined to the outer small-job region and the
+		// first two racks; when both are full they wait rather than
+		// fragment the mid-machine (Cobalt's partition queues bind small
+		// jobs to small named partitions). The pick within a region is
+		// randomized — Cobalt walks its partition list in a
+		// configuration order that is effectively arbitrary.
+		if p, ok := randIn(cands, rng, func(c bgp.Partition) bool { return c.Start >= smallRegion }); ok {
+			return p, true
+		}
+		if p, ok := randIn(cands, rng, func(c bgp.Partition) bool { return c.End() <= shortRegion }); ok {
+			return p, true
+		}
+		return bgp.Partition{}, false
+	default:
+		// Mid-size jobs fill the lower-middle of the machine first and
+		// enter the wide region only as a last resort.
+		if p, ok := randIn(cands, rng, func(c bgp.Partition) bool { return c.End() <= wideRegionLo }); ok {
+			return p, true
+		}
+		return cands[0], true
+	}
+}

@@ -1,0 +1,149 @@
+// Package sched implements a Cobalt-like discrete-event scheduler
+// simulation of the Intrepid Blue Gene/P: midplane-granularity
+// partition allocation with the region policy the paper documents,
+// reboot-before-execution, user resubmission after interruptions, and
+// fault injection driven by the faultgen model. It produces the two
+// logs the co-analysis consumes (RAS stream, job log) plus the
+// generator-side ground truth used as an oracle in tests.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/errcat"
+	"repro/internal/faultgen"
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+)
+
+// Config controls the scheduler's dynamic behaviour.
+type Config struct {
+	// Seed seeds the engine's rng (independent of the workload seed).
+	Seed int64
+	// BootDelay is the mean partition reboot time before execution
+	// ("reboot before execution"); actual delays are uniform in
+	// [0.5, 1.5] × BootDelay.
+	BootDelay time.Duration
+	// SamePartitionProb is the probability the scheduler tries the
+	// executable's previous partition first for a resubmission. The
+	// paper measured 57.44% of resubmitted jobs landing on the same
+	// partition.
+	SamePartitionProb float64
+	// ResubmitProb is the probability a user resubmits after an
+	// interruption.
+	ResubmitProb float64
+	// MaxChainResubmits caps consecutive automatic resubmissions.
+	MaxChainResubmits int
+	// SharedVictimProb is the probability a shared-file-system
+	// application error also interrupts other running jobs (spatial
+	// propagation, Obs. 8).
+	SharedVictimProb float64
+	// SharedVictimMax bounds the number of extra victims.
+	SharedVictimMax int
+}
+
+// DefaultConfig returns the Intrepid-like scheduler configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		BootDelay:         5 * time.Minute,
+		SamePartitionProb: 0.42,
+		ResubmitProb:      0.92,
+		MaxChainResubmits: 12,
+		SharedVictimProb:  0.5,
+		SharedVictimMax:   2,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BootDelay < 0 {
+		return fmt.Errorf("sched: negative boot delay")
+	}
+	if c.SamePartitionProb < 0 || c.SamePartitionProb > 1 {
+		return fmt.Errorf("sched: SamePartitionProb %v outside [0,1]", c.SamePartitionProb)
+	}
+	if c.ResubmitProb < 0 || c.ResubmitProb > 1 {
+		return fmt.Errorf("sched: ResubmitProb %v outside [0,1]", c.ResubmitProb)
+	}
+	if c.SharedVictimProb < 0 || c.SharedVictimProb > 1 {
+		return fmt.Errorf("sched: SharedVictimProb %v outside [0,1]", c.SharedVictimProb)
+	}
+	if c.MaxChainResubmits < 0 || c.SharedVictimMax < 0 {
+		return fmt.Errorf("sched: negative cap")
+	}
+	return nil
+}
+
+// Outcome is the ground-truth fate of one job.
+type Outcome struct {
+	// Interrupted reports whether a fatal event killed the job.
+	Interrupted bool
+	// Code is the ERRCODE that killed the job (empty if completed).
+	Code string
+	// Class is the ground-truth origin of the killing code.
+	Class errcat.Class
+	// Exec is the executable path.
+	Exec string
+	// ResubmitOf is the job ID this submission retried after an
+	// interruption (0 for planned submissions).
+	ResubmitOf int64
+	// ChainFails is how many consecutive interruptions preceded this
+	// submission in its resubmission chain.
+	ChainFails int
+	// SamePartition reports whether a resubmission landed on the same
+	// partition as the interrupted attempt.
+	SamePartition bool
+}
+
+// GroundTruth is the oracle produced alongside the logs.
+type GroundTruth struct {
+	// Faults lists every ground-truth fatal occurrence in time order.
+	Faults []faultgen.GroundFault
+	// Outcomes maps job ID to its fate.
+	Outcomes map[int64]Outcome
+}
+
+// InterruptedJobs returns the IDs of interrupted jobs.
+func (g GroundTruth) InterruptedJobs() []int64 {
+	var out []int64
+	for id, o := range g.Outcomes {
+		if o.Interrupted {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// IdleFaultFraction returns the fraction of interrupting-capable fatal
+// occurrences that struck idle locations (Obs. 7's driver).
+func (g GroundTruth) IdleFaultFraction() float64 {
+	idle, total := 0, 0
+	for _, f := range g.Faults {
+		if !f.Code.Interrupting {
+			continue
+		}
+		total++
+		if f.Idle {
+			idle++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(idle) / float64(total)
+}
+
+// Result bundles a simulated campaign.
+type Result struct {
+	// Jobs is the Cobalt job log (every job that ran to completion or
+	// interruption).
+	Jobs []joblog.Job
+	// Records is the full RAS stream, time-ordered and renumbered.
+	Records []raslog.Record
+	// Truth is the generator-side oracle.
+	Truth GroundTruth
+	// Start and End delimit the campaign.
+	Start, End time.Time
+}

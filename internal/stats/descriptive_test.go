@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEq(m, 5, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v", v)
+	}
+	if s := StdDev(xs); !almostEq(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("empty/short samples should be NaN")
+	}
+}
+
+func TestMinMaxMedianQuantile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if m := Median(xs); m != 5 {
+		t.Errorf("Median = %v", m)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("Q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 9 {
+		t.Errorf("Q1 = %v", q)
+	}
+	if q := Quantile([]float64{1, 2, 3, 4}, 0.5); !almostEq(q, 2.5, 1e-12) {
+		t.Errorf("even median = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty sample should be NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect positive r = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, neg); !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect negative r = %v", r)
+	}
+	if r := Pearson(xs, []float64{3, 3, 3, 3, 3}); !math.IsNaN(r) {
+		t.Errorf("constant sample r = %v, want NaN", r)
+	}
+	if r := Pearson(xs, ys[:3]); !math.IsNaN(r) {
+		t.Errorf("mismatched lengths r = %v, want NaN", r)
+	}
+	// Known value: r of (1,2,3) vs (1,3,2) is 0.5.
+	if r := Pearson([]float64{1, 2, 3}, []float64{1, 3, 2}); !almostEq(r, 0.5, 1e-12) {
+		t.Errorf("r = %v, want 0.5", r)
+	}
+}
+
+func TestGammaPQ(t *testing.T) {
+	// P(1, x) = 1 - e^-x.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); !almostEq(got, want, 1e-10) {
+			t.Errorf("GammaP(1,%v) = %v, want %v", x, got, want)
+		}
+		if got := GammaQ(1, x); !almostEq(got, math.Exp(-x), 1e-10) {
+			t.Errorf("GammaQ(1,%v) = %v, want %v", x, got, math.Exp(-x))
+		}
+	}
+	// P(a,0)=0, Q(a,0)=1.
+	if GammaP(2.5, 0) != 0 || GammaQ(2.5, 0) != 1 {
+		t.Error("boundary at x=0 wrong")
+	}
+	// Complementarity across the series/CF split.
+	for _, a := range []float64{0.5, 1.5, 3, 10} {
+		for _, x := range []float64{0.2, a, a + 2, 4 * a} {
+			if s := GammaP(a, x) + GammaQ(a, x); !almostEq(s, 1, 1e-9) {
+				t.Errorf("P+Q(a=%v,x=%v) = %v", a, x, s)
+			}
+		}
+	}
+	if !math.IsNaN(GammaP(-1, 1)) || !math.IsNaN(GammaQ(0, 1)) || !math.IsNaN(GammaP(1, -1)) {
+		t.Error("invalid domain should be NaN")
+	}
+}
+
+func TestChiSquareSurvival(t *testing.T) {
+	// Chi-square df=1: P(X >= 3.841) ≈ 0.05; df=2: P(X >= 5.991) ≈ 0.05.
+	if p := ChiSquareSurvival(3.841, 1); !almostEq(p, 0.05, 5e-4) {
+		t.Errorf("chi2(3.841, df1) = %v, want ~0.05", p)
+	}
+	if p := ChiSquareSurvival(5.991, 2); !almostEq(p, 0.05, 5e-4) {
+		t.Errorf("chi2(5.991, df2) = %v, want ~0.05", p)
+	}
+	if p := ChiSquareSurvival(0, 1); p != 1 {
+		t.Errorf("chi2(0) = %v, want 1", p)
+	}
+	if !math.IsNaN(ChiSquareSurvival(1, 0)) {
+		t.Error("df=0 should be NaN")
+	}
+}

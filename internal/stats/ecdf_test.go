@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFEval(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := map[float64]float64{0: 0, 1: 0.25, 1.5: 0.25, 2: 0.75, 2.5: 0.75, 3: 1, 4: 1}
+	for x, want := range cases {
+		if got := e.Eval(x); !almostEq(got, want, 1e-12) {
+			t.Errorf("Eval(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if !math.IsNaN(NewECDF(nil).Eval(1)) {
+		t.Error("empty ECDF should be NaN")
+	}
+}
+
+func TestECDFMonotoneQuick(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		e := NewECDF(xs)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return e.Eval(lo) <= e.Eval(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40})
+	if q := e.Quantile(0.25); q != 10 {
+		t.Errorf("Q(0.25) = %v", q)
+	}
+	if q := e.Quantile(0.5); q != 20 {
+		t.Errorf("Q(0.5) = %v", q)
+	}
+	if q := e.Quantile(1); q != 40 {
+		t.Errorf("Q(1) = %v", q)
+	}
+	if q := e.Quantile(0); q != 10 {
+		t.Errorf("Q(0) = %v", q)
+	}
+	if !math.IsNaN(NewECDF(nil).Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 2})
+	xs, ps := e.Points()
+	if len(xs) != 3 || xs[0] != 1 || xs[1] != 2 || xs[2] != 3 {
+		t.Errorf("xs = %v", xs)
+	}
+	if !almostEq(ps[0], 0.25, 1e-12) || !almostEq(ps[1], 0.75, 1e-12) || ps[2] != 1 {
+		t.Errorf("ps = %v", ps)
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Error("points not sorted")
+	}
+}
+
+func TestKolmogorovSmirnovSelf(t *testing.T) {
+	// KS of a sample against its own generating distribution is small
+	// for large n; against a wildly wrong model it is large.
+	rng := rand.New(rand.NewSource(5))
+	truth := Weibull{Shape: 0.6, Scale: 1000}
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = truth.Rand(rng)
+	}
+	e := NewECDF(xs)
+	if d := e.KolmogorovSmirnov(truth.CDF); d > 0.02 {
+		t.Errorf("KS against truth = %v, want small", d)
+	}
+	wrong := Exponential{Rate: 1}
+	if d := e.KolmogorovSmirnov(wrong.CDF); d < 0.3 {
+		t.Errorf("KS against wrong model = %v, want large", d)
+	}
+	if !math.IsNaN(NewECDF(nil).KolmogorovSmirnov(truth.CDF)) {
+		t.Error("empty KS should be NaN")
+	}
+}

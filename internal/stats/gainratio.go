@@ -1,0 +1,110 @@
+package stats
+
+import "math"
+
+// entropy returns the Shannon entropy (bits) of a discrete count
+// distribution.
+func entropy(counts map[string]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// GainRatioResult carries the decomposition of a gain-ratio
+// computation for one feature.
+type GainRatioResult struct {
+	// ClassEntropy is H(class).
+	ClassEntropy float64
+	// ConditionalEntropy is H(class | feature).
+	ConditionalEntropy float64
+	// InfoGain is H(class) − H(class|feature).
+	InfoGain float64
+	// IntrinsicValue is H(feature), the split information.
+	IntrinsicValue float64
+	// Ratio is InfoGain / IntrinsicValue (0 when the feature is
+	// constant).
+	Ratio float64
+}
+
+// GainRatio computes the information-gain ratio of a discrete feature
+// with respect to a discrete class over paired observations. It is the
+// feature-ranking criterion the paper adopts (§VI-D, citing Liu & Yu).
+// The two slices must have equal length.
+func GainRatio(feature, class []string) GainRatioResult {
+	n := len(feature)
+	if n == 0 || n != len(class) {
+		return GainRatioResult{}
+	}
+	classCounts := make(map[string]int)
+	featCounts := make(map[string]int)
+	joint := make(map[string]map[string]int)
+	for i := 0; i < n; i++ {
+		classCounts[class[i]]++
+		featCounts[feature[i]]++
+		m := joint[feature[i]]
+		if m == nil {
+			m = make(map[string]int)
+			joint[feature[i]] = m
+		}
+		m[class[i]]++
+	}
+	hClass := entropy(classCounts, n)
+	hCond := 0.0
+	for f, m := range joint {
+		hCond += float64(featCounts[f]) / float64(n) * entropy(m, featCounts[f])
+	}
+	ig := hClass - hCond
+	if ig < 0 {
+		ig = 0 // numerical guard
+	}
+	iv := entropy(featCounts, n)
+	r := GainRatioResult{
+		ClassEntropy:       hClass,
+		ConditionalEntropy: hCond,
+		InfoGain:           ig,
+		IntrinsicValue:     iv,
+	}
+	if iv > 0 {
+		r.Ratio = ig / iv
+	}
+	return r
+}
+
+// RankedFeature names a feature and its gain-ratio score.
+type RankedFeature struct {
+	Name  string
+	Score GainRatioResult
+}
+
+// RankFeatures scores every feature column against the class labels
+// and returns the features sorted by descending gain ratio (stable for
+// ties by name). features maps feature name to its per-observation
+// values; every column must have the same length as class.
+func RankFeatures(features map[string][]string, class []string) []RankedFeature {
+	out := make([]RankedFeature, 0, len(features))
+	for name, col := range features {
+		out = append(out, RankedFeature{Name: name, Score: GainRatio(col, class)})
+	}
+	// Insertion sort by (ratio desc, name asc): tiny n.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Score.Ratio > a.Score.Ratio ||
+				(b.Score.Ratio == a.Score.Ratio && b.Name < a.Name) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram bins a sample over explicit bin edges.
+type Histogram struct {
+	// Edges are the n+1 strictly increasing bin boundaries; bin i covers
+	// [Edges[i], Edges[i+1]), except the last bin which also includes
+	// its upper edge.
+	Edges []float64
+	// Counts are the per-bin tallies.
+	Counts []int
+	// Below and Above count samples outside the edge range.
+	Below, Above int
+}
+
+// NewHistogram bins xs over the given edges. Edges must be strictly
+// increasing with at least two entries.
+func NewHistogram(xs, edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: histogram needs >= 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			return nil, fmt.Errorf("stats: histogram edges not strictly increasing at %d", i)
+		}
+	}
+	h := &Histogram{
+		Edges:  append([]float64(nil), edges...),
+		Counts: make([]int, len(edges)-1),
+	}
+	for _, x := range xs {
+		switch {
+		case x < edges[0]:
+			h.Below++
+		case x > edges[len(edges)-1]:
+			h.Above++
+		case x == edges[len(edges)-1]:
+			h.Counts[len(h.Counts)-1]++
+		default:
+			// First edge index with edges[i] > x, minus one.
+			i := sort.SearchFloat64s(edges, x)
+			if i < len(edges) && edges[i] == x {
+				h.Counts[i]++
+			} else {
+				h.Counts[i-1]++
+			}
+		}
+	}
+	return h, nil
+}
+
+// Total returns the in-range sample count.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// LogEdges returns n+1 logarithmically spaced edges from lo to hi
+// (both > 0).
+func LogEdges(lo, hi float64, n int) []float64 {
+	if n < 1 || lo <= 0 || hi <= lo {
+		return nil
+	}
+	out := make([]float64, n+1)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := 0; i <= n; i++ {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n))
+	}
+	out[0], out[n] = lo, hi
+	return out
+}
+
+// DailyCounts buckets event offsets (seconds from campaign start) into
+// whole days and returns counts for days 0..maxDay; the "number of
+// interruptions per day" series of Figure 5.
+func DailyCounts(offsetsSec []float64, days int) []int {
+	out := make([]int, days)
+	for _, s := range offsetsSec {
+		if s < 0 {
+			continue
+		}
+		d := int(s / 86400)
+		if d < days {
+			out[d]++
+		}
+	}
+	return out
+}

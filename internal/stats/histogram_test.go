@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	// The paper's Table VI runtime bins: 10-400, 400-1600, 1600-6400, >=6400.
+	edges := []float64{10, 400, 1600, 6400, 1e9}
+	xs := []float64{10, 399.9, 400, 1000, 1600, 6399, 6400, 100000, 5, 2e9}
+	h, err := NewHistogram(xs, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 2, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Below != 1 || h.Above != 1 {
+		t.Errorf("below/above = %d/%d, want 1/1", h.Below, h.Above)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramUpperEdgeInclusive(t *testing.T) {
+	h, err := NewHistogram([]float64{10}, []float64{0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[1] != 1 || h.Above != 0 {
+		t.Errorf("upper edge not inclusive: %+v", h)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, []float64{1}); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := NewHistogram(nil, []float64{2, 1}); err == nil {
+		t.Error("decreasing edges accepted")
+	}
+	if _, err := NewHistogram(nil, []float64{1, 1}); err == nil {
+		t.Error("equal edges accepted")
+	}
+}
+
+func TestHistogramConservationQuick(t *testing.T) {
+	edges := []float64{0, 1, 2, 4, 8}
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if x == x { // drop NaN
+				xs = append(xs, x)
+			}
+		}
+		h, err := NewHistogram(xs, edges)
+		if err != nil {
+			return false
+		}
+		return h.Total()+h.Below+h.Above == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogEdges(t *testing.T) {
+	e := LogEdges(10, 1000, 2)
+	if len(e) != 3 || e[0] != 10 || e[2] != 1000 {
+		t.Fatalf("LogEdges = %v", e)
+	}
+	if !almostEq(e[1], 100, 1e-9) {
+		t.Errorf("midpoint = %v, want 100", e[1])
+	}
+	if LogEdges(0, 10, 2) != nil || LogEdges(10, 5, 2) != nil || LogEdges(1, 10, 0) != nil {
+		t.Error("invalid LogEdges input accepted")
+	}
+}
+
+func TestDailyCounts(t *testing.T) {
+	offsets := []float64{0, 100, 86399, 86400, 86401, 3 * 86400, -5, 900 * 86400}
+	counts := DailyCounts(offsets, 5)
+	want := []int{3, 2, 0, 1, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("day %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// LogNormal is the two-parameter lognormal distribution: ln X is
+// normal with mean Mu and standard deviation Sigma. It is the third
+// classic failure-interarrival model alongside the exponential and the
+// Weibull.
+type LogNormal struct {
+	// Mu is the mean of ln X.
+	Mu float64
+	// Sigma is the standard deviation of ln X (> 0).
+	Sigma float64
+}
+
+// Name implements Dist.
+func (LogNormal) Name() string { return "lognormal" }
+
+// NumParams implements Dist.
+func (LogNormal) NumParams() int { return 2 }
+
+// CDF implements Dist.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2))
+}
+
+// PDF implements Dist.
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// Mean implements Dist: exp(mu + sigma²/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Variance implements Dist.
+func (l LogNormal) Variance() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// LogLikelihood implements Dist.
+func (l LogNormal) LogLikelihood(xs []float64) float64 {
+	ll := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.Inf(-1)
+		}
+		ll += math.Log(l.PDF(x))
+	}
+	return ll
+}
+
+// Rand implements Dist.
+func (l LogNormal) Rand(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// FitLogNormal returns the maximum-likelihood lognormal fit: Mu and
+// Sigma are the mean and (population) standard deviation of ln x.
+func FitLogNormal(xs []float64) (LogNormal, error) {
+	if len(xs) == 0 {
+		return LogNormal{}, ErrNoData
+	}
+	logs := make([]float64, len(xs))
+	allEqual := true
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return LogNormal{}, ErrBadSample
+		}
+		logs[i] = math.Log(x)
+		if x != xs[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		return LogNormal{}, ErrBadSample
+	}
+	mu := Mean(logs)
+	s := 0.0
+	for _, lg := range logs {
+		d := lg - mu
+		s += d * d
+	}
+	sigma := math.Sqrt(s / float64(len(logs))) // MLE uses 1/n
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// AIC returns the Akaike information criterion of a fitted model on a
+// sample: 2k − 2 lnL. Lower is better.
+func AIC(d Dist, xs []float64) float64 {
+	return 2*float64(d.NumParams()) - 2*d.LogLikelihood(xs)
+}
+
+// ModelFit pairs a fitted model with its score on the sample.
+type ModelFit struct {
+	Dist Dist
+	AIC  float64
+	KS   float64
+}
+
+// CompareModels fits the exponential, Weibull and lognormal models to
+// the sample and returns them ranked by AIC (best first). Models whose
+// fit fails are omitted.
+func CompareModels(xs []float64) []ModelFit {
+	var fits []ModelFit
+	ecdf := NewECDF(xs)
+	if e, err := FitExponential(xs); err == nil {
+		fits = append(fits, ModelFit{Dist: e, AIC: AIC(e, xs), KS: ecdf.KolmogorovSmirnov(e.CDF)})
+	}
+	if w, err := FitWeibull(xs); err == nil {
+		fits = append(fits, ModelFit{Dist: w, AIC: AIC(w, xs), KS: ecdf.KolmogorovSmirnov(w.CDF)})
+	}
+	if l, err := FitLogNormal(xs); err == nil {
+		fits = append(fits, ModelFit{Dist: l, AIC: AIC(l, xs), KS: ecdf.KolmogorovSmirnov(l.CDF)})
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].AIC < fits[j].AIC })
+	return fits
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLogNormalBasics(t *testing.T) {
+	l := LogNormal{Mu: 1, Sigma: 0.5}
+	if l.Name() != "lognormal" || l.NumParams() != 2 {
+		t.Error("metadata wrong")
+	}
+	if l.CDF(0) != 0 || l.PDF(-1) != 0 {
+		t.Error("non-positive support should be zero")
+	}
+	// Median is exp(mu).
+	if got := l.CDF(math.Exp(1)); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("CDF(median) = %v", got)
+	}
+	// Mean/variance formulas.
+	wantMean := math.Exp(1 + 0.25/2)
+	if !almostEq(l.Mean(), wantMean, 1e-12) {
+		t.Errorf("Mean = %v, want %v", l.Mean(), wantMean)
+	}
+	if l.Variance() <= 0 {
+		t.Error("variance should be positive")
+	}
+}
+
+func TestLogNormalPDFIntegratesToCDF(t *testing.T) {
+	l := LogNormal{Mu: 0.3, Sigma: 0.8}
+	// Crude trapezoid check: integral of PDF over (0, x] ~= CDF(x).
+	x := 3.0
+	n := 20000
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += l.PDF(float64(i) * x / float64(n))
+	}
+	integral := sum * x / float64(n)
+	if !almostEq(integral, l.CDF(x), 1e-3) {
+		t.Errorf("integral %v vs CDF %v", integral, l.CDF(x))
+	}
+}
+
+func TestFitLogNormalRecovers(t *testing.T) {
+	truth := LogNormal{Mu: 8, Sigma: 1.4}
+	rng := rand.New(rand.NewSource(21))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = truth.Rand(rng)
+	}
+	fit, err := FitLogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-truth.Mu) > 0.05 {
+		t.Errorf("Mu = %v, want %v", fit.Mu, truth.Mu)
+	}
+	if math.Abs(fit.Sigma-truth.Sigma)/truth.Sigma > 0.03 {
+		t.Errorf("Sigma = %v, want %v", fit.Sigma, truth.Sigma)
+	}
+}
+
+func TestFitLogNormalErrors(t *testing.T) {
+	if _, err := FitLogNormal(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := FitLogNormal([]float64{1, -1}); err == nil {
+		t.Error("negative accepted")
+	}
+	if _, err := FitLogNormal([]float64{2, 2, 2}); err == nil {
+		t.Error("constant accepted")
+	}
+}
+
+func TestCompareModelsPicksGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []Dist{
+		Weibull{Shape: 0.5, Scale: 1000},
+		LogNormal{Mu: 6, Sigma: 1.2},
+		Exponential{Rate: 1e-3},
+	}
+	for _, truth := range cases {
+		xs := make([]float64, 8000)
+		for i := range xs {
+			xs[i] = truth.Rand(rng)
+		}
+		fits := CompareModels(xs)
+		if len(fits) != 3 {
+			t.Fatalf("fits = %d", len(fits))
+		}
+		// The generating family must rank first by AIC (the exponential
+		// is nested in Weibull, so allow Weibull to tie-win for it).
+		best := fits[0].Dist.Name()
+		want := truth.Name()
+		if best != want && !(want == "exponential" && best == "weibull") {
+			t.Errorf("truth %s: best fit %s (AICs: %v %v %v)", want, best,
+				fits[0].AIC, fits[1].AIC, fits[2].AIC)
+		}
+		// AICs ascend.
+		for i := 1; i < len(fits); i++ {
+			if fits[i].AIC < fits[i-1].AIC {
+				t.Error("AIC ranking not sorted")
+			}
+		}
+	}
+}
+
+func TestAICPenalizesParameters(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	e, _ := FitExponential(xs)
+	// AIC = 2k - 2LL.
+	want := 2*1 - 2*e.LogLikelihood(xs)
+	if got := AIC(e, xs); !almostEq(got, want, 1e-12) {
+		t.Errorf("AIC = %v, want %v", got, want)
+	}
+}

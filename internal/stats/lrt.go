@@ -1,0 +1,94 @@
+package stats
+
+import "math"
+
+// LRTResult is the outcome of a likelihood-ratio comparison between a
+// null model and a nested alternative model fit on the same sample.
+type LRTResult struct {
+	// NullLL and AltLL are the maximized log-likelihoods.
+	NullLL, AltLL float64
+	// Statistic is D = 2 (AltLL - NullLL), clamped at 0.
+	Statistic float64
+	// DF is the difference in free parameters.
+	DF int
+	// PValue is the chi-square tail probability of D with DF degrees of
+	// freedom; small values reject the null model.
+	PValue float64
+}
+
+// Rejects reports whether the null model is rejected at level alpha.
+func (r LRTResult) Rejects(alpha float64) bool { return r.PValue < alpha }
+
+// LikelihoodRatio compares a null and an alternative model on sample
+// xs. The alternative must nest the null (e.g. exponential within
+// Weibull at shape = 1).
+func LikelihoodRatio(null, alt Dist, xs []float64) LRTResult {
+	nll := null.LogLikelihood(xs)
+	all := alt.LogLikelihood(xs)
+	d := 2 * (all - nll)
+	if d < 0 {
+		d = 0
+	}
+	df := alt.NumParams() - null.NumParams()
+	if df < 1 {
+		df = 1
+	}
+	return LRTResult{
+		NullLL:    nll,
+		AltLL:     all,
+		Statistic: d,
+		DF:        df,
+		PValue:    ChiSquareSurvival(d, df),
+	}
+}
+
+// InterarrivalFit bundles the paper's standard treatment of an
+// interarrival sample: MLE fits of both candidate models, the LRT
+// between them, and the KS distance of each model.
+type InterarrivalFit struct {
+	// N is the sample size.
+	N int
+	// Weibull and Exponential are the MLE fits.
+	Weibull     Weibull
+	Exponential Exponential
+	// LRT compares exponential (null) against Weibull (alternative).
+	LRT LRTResult
+	// KSWeibull and KSExponential are Kolmogorov–Smirnov distances.
+	KSWeibull, KSExponential float64
+	// SampleMean and SampleVariance are the empirical moments.
+	SampleMean, SampleVariance float64
+}
+
+// WeibullPreferred reports whether the Weibull model is the better fit:
+// the LRT rejects the exponential at the 0.05 level and the Weibull KS
+// distance is no worse.
+func (f InterarrivalFit) WeibullPreferred() bool {
+	return f.LRT.Rejects(0.05) && f.KSWeibull <= f.KSExponential
+}
+
+// FitInterarrivals runs the standard treatment over a positive sample.
+func FitInterarrivals(xs []float64) (InterarrivalFit, error) {
+	w, err := FitWeibull(xs)
+	if err != nil {
+		return InterarrivalFit{}, err
+	}
+	e, err := FitExponential(xs)
+	if err != nil {
+		return InterarrivalFit{}, err
+	}
+	ecdf := NewECDF(xs)
+	fit := InterarrivalFit{
+		N:              len(xs),
+		Weibull:        w,
+		Exponential:    e,
+		LRT:            LikelihoodRatio(e, w, xs),
+		KSWeibull:      ecdf.KolmogorovSmirnov(w.CDF),
+		KSExponential:  ecdf.KolmogorovSmirnov(e.CDF),
+		SampleMean:     Mean(xs),
+		SampleVariance: Variance(xs),
+	}
+	if math.IsNaN(fit.SampleVariance) {
+		fit.SampleVariance = 0
+	}
+	return fit, nil
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func weibullSample(truth Weibull, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = truth.Rand(rng)
+	}
+	return xs
+}
+
+func TestLikelihoodRatioRejectsExpForWeibullData(t *testing.T) {
+	// Data from a shape-0.4 Weibull: the LRT must strongly reject the
+	// exponential null — this is the paper's model-selection result.
+	xs := weibullSample(Weibull{Shape: 0.4, Scale: 8000}, 2000, 11)
+	w, err := FitWeibull(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := LikelihoodRatio(e, w, xs)
+	if !res.Rejects(0.001) {
+		t.Errorf("LRT p = %v, want << 0.001", res.PValue)
+	}
+	if res.Statistic <= 0 || res.DF != 1 {
+		t.Errorf("statistic/df = %v/%d", res.Statistic, res.DF)
+	}
+	if res.AltLL < res.NullLL {
+		t.Error("alternative LL below null LL for nested MLE fits")
+	}
+}
+
+func TestLikelihoodRatioAcceptsExpForExpData(t *testing.T) {
+	// Exponential data: the Weibull fit adds ~nothing; p should not be
+	// microscopically small.
+	rng := rand.New(rand.NewSource(13))
+	truth := Exponential{Rate: 1e-3}
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = truth.Rand(rng)
+	}
+	w, _ := FitWeibull(xs)
+	e, _ := FitExponential(xs)
+	res := LikelihoodRatio(e, w, xs)
+	if res.PValue < 1e-4 {
+		t.Errorf("LRT rejected exponential on exponential data: p = %v", res.PValue)
+	}
+}
+
+func TestFitInterarrivals(t *testing.T) {
+	truth := Weibull{Shape: 0.573, Scale: 68465.9} // Table IV after-filtering row
+	xs := weibullSample(truth, 5000, 17)
+	fit, err := FitInterarrivals(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 5000 {
+		t.Errorf("N = %d", fit.N)
+	}
+	if !fit.WeibullPreferred() {
+		t.Error("Weibull should be preferred on Weibull data")
+	}
+	if fit.Weibull.Shape >= 1 {
+		t.Errorf("shape = %v, want < 1 (decreasing hazard)", fit.Weibull.Shape)
+	}
+	if fit.KSWeibull >= fit.KSExponential {
+		t.Errorf("KS: weibull %v vs exp %v", fit.KSWeibull, fit.KSExponential)
+	}
+	if math.Abs(fit.SampleMean-truth.Mean())/truth.Mean() > 0.1 {
+		t.Errorf("sample mean %v vs truth %v", fit.SampleMean, truth.Mean())
+	}
+}
+
+func TestFitInterarrivalsPropagatesErrors(t *testing.T) {
+	if _, err := FitInterarrivals(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := FitInterarrivals([]float64{1, 1, 1}); err == nil {
+		t.Error("constant sample accepted")
+	}
+}
+
+func TestLRTStatisticClamped(t *testing.T) {
+	// If the "alternative" is worse (not truly nested/fit), D clamps to 0
+	// and p = 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	good, _ := FitExponential(xs)
+	bad := Weibull{Shape: 5, Scale: 0.01}
+	res := LikelihoodRatio(good, bad, xs)
+	if res.Statistic != 0 || res.PValue != 1 {
+		t.Errorf("clamp failed: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/errcat"
+)
+
+func TestDrawRuntimeWithinBoundsQuick(t *testing.T) {
+	cat := errcat.Intrepid()
+	g, err := New(DefaultSpec(1, 0.1), cat.ByClass(errcat.ClassApplication))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRuntime := time.Duration(g.Spec().MaxRuntimeSec * float64(time.Second))
+	f := func(seed int64, sizeIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := Sizes[int(sizeIdx)%len(Sizes)]
+		for i := 0; i < 50; i++ {
+			d := g.DrawRuntime(rng, size)
+			if d < 10*time.Second || d > maxRuntime+time.Second {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrawRuntimeUnknownSizeFallsBack(t *testing.T) {
+	cat := errcat.Intrepid()
+	g, err := New(DefaultSpec(1, 0.1), cat.ByClass(errcat.ClassApplication))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Size 7 is not schedulable; the generator uses the width-1 bins.
+	d := g.DrawRuntime(rng, 7)
+	if d < 10*time.Second {
+		t.Errorf("fallback runtime %v below floor", d)
+	}
+}
+
+func TestSessionsClusterSubmissions(t *testing.T) {
+	cat := errcat.Intrepid()
+	g, err := New(DefaultSpec(1, 0.3), cat.ByClass(errcat.ClassApplication))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submission sessions: a meaningful fraction of an executable's
+	// consecutive submissions are hours apart, not uniformly spread over
+	// the campaign (the structure behind Figure 7's histories).
+	byExec := make(map[int][]time.Time)
+	for _, s := range g.Submissions() {
+		byExec[s.Exec] = append(byExec[s.Exec], s.At)
+	}
+	close6h, total := 0, 0
+	for _, times := range byExec {
+		for i := 1; i < len(times); i++ {
+			total++
+			if times[i].Sub(times[i-1]) < 6*time.Hour {
+				close6h++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no multi-submission executables")
+	}
+	frac := float64(close6h) / float64(total)
+	if frac < 0.3 {
+		t.Errorf("only %.2f of consecutive submissions within 6h; sessions not clustering", frac)
+	}
+}
+
+func TestWideExecutablesRarelyBuggy(t *testing.T) {
+	cat := errcat.Intrepid()
+	g, err := New(DefaultSpec(1, 1), cat.ByClass(errcat.ClassApplication))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideBuggy, wide, narrowBuggy, narrow := 0, 0, 0, 0
+	for _, e := range g.Executables() {
+		if e.Size >= 32 {
+			wide++
+			if e.Bug.Buggy() {
+				wideBuggy++
+			}
+		} else {
+			narrow++
+			if e.Bug.Buggy() {
+				narrowBuggy++
+			}
+		}
+	}
+	if wide == 0 || narrow == 0 {
+		t.Fatal("degenerate population")
+	}
+	wideRate := float64(wideBuggy) / float64(wide)
+	narrowRate := float64(narrowBuggy) / float64(narrow)
+	if wideRate >= narrowRate {
+		t.Errorf("wide buggy rate %.4f not below narrow %.4f (well-debugged capability codes)",
+			wideRate, narrowRate)
+	}
+}

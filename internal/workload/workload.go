@@ -1,0 +1,402 @@
+// Package workload generates the synthetic Cobalt job mix that drives
+// the simulated Intrepid campaign. The size and runtime marginals are
+// taken from the paper's own Table VI (68,794 jobs over 237 days;
+// 9,664 distinct executables of which 5,547 were submitted more than
+// once), so the simulated job population fills the same size × runtime
+// cells the evaluation reports.
+//
+// Each distinct executable carries a user, a project, a fixed job width
+// and, for a small fraction, a latent bug: a ground-truth application
+// error that interrupts runs of the executable until the user "fixes"
+// it after a number of failed submissions. The bug metadata is ground
+// truth for the analysis oracle; it never appears in the generated job
+// log itself.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/errcat"
+)
+
+// Sizes lists the schedulable job widths in midplanes.
+var Sizes = []int{1, 2, 4, 8, 16, 32, 48, 64, 80}
+
+// sizeWeights is the job count per width from Table VI.
+var sizeWeights = map[int]float64{
+	1: 46413, 2: 11911, 4: 4822, 8: 2618, 16: 1854,
+	32: 656, 48: 4, 64: 341, 80: 73,
+}
+
+// RuntimeBinEdges are the Table VI execution-time bins in seconds:
+// [10,400), [400,1600), [1600,6400), [6400, max].
+var RuntimeBinEdges = []float64{10, 400, 1600, 6400}
+
+// runtimeBinWeights is, per width, the Table VI job count per runtime bin.
+var runtimeBinWeights = map[int][4]float64{
+	1:  {12282, 7300, 17339, 9492},
+	2:  {1146, 2601, 6052, 2112},
+	4:  {881, 901, 1026, 2014},
+	8:  {611, 563, 636, 748},
+	16: {288, 685, 466, 415},
+	32: {20, 362, 195, 79},
+	48: {3, 1, 0.5, 0.5}, // tiny population; avoid zero-weight bins
+	64: {12, 147, 143, 39},
+	80: {11, 33, 27, 2},
+}
+
+// Bug is the latent application error attached to a buggy executable.
+type Bug struct {
+	// Code is the application-error ERRCODE the bug raises.
+	Code string
+	// MeanDelaySec is the mean of the (exponential) time-to-failure of a
+	// buggy run after job start. Most application errors surface within
+	// the first hour (Obs. 11).
+	MeanDelaySec float64
+	// FailRuns is how many submissions fail before the user fixes the
+	// bug; subsequent submissions run clean.
+	FailRuns int
+}
+
+// Buggy reports whether a bug is present.
+func (b Bug) Buggy() bool { return b.Code != "" }
+
+// ExecSpec describes one distinct executable.
+type ExecSpec struct {
+	// Path is the executable path; the distinct-job key.
+	Path string
+	// User and Project identify the submitting entity.
+	User, Project string
+	// Size is the job width in midplanes (fixed per executable).
+	Size int
+	// Planned is the number of planned (non-resubmission) submissions.
+	Planned int
+	// Bug is the latent application error, if any (ground truth).
+	Bug Bug
+}
+
+// Submission is one planned job submission.
+type Submission struct {
+	// At is the submission (queue) time.
+	At time.Time
+	// Exec indexes into the generator's executable table.
+	Exec int
+	// Runtime is the intended execution time if the job is never
+	// interrupted.
+	Runtime time.Duration
+}
+
+// Spec configures the generator. The zero value is not usable; call
+// DefaultSpec and override.
+type Spec struct {
+	// Seed seeds all static draws.
+	Seed int64
+	// Start is the campaign start instant.
+	Start time.Time
+	// Days is the campaign length.
+	Days int
+	// JobsPerDay is the mean planned-submission rate.
+	JobsPerDay float64
+	// NumUsers and NumProjects size the user population.
+	NumUsers, NumProjects int
+	// ExecsPerUserMean controls how many distinct executables each user
+	// owns on average.
+	ExecsPerUserMean float64
+	// BuggyFraction is the fraction of executables carrying a latent bug.
+	BuggyFraction float64
+	// BugMeanDelaySec is the mean time-to-failure of buggy runs.
+	BugMeanDelaySec float64
+	// BugMaxFailRuns bounds FailRuns (drawn uniformly in [1, max]).
+	BugMaxFailRuns int
+	// MaxRuntimeSec caps intended runtimes (113.5 h on Intrepid).
+	MaxRuntimeSec float64
+	// WideUserBias reserves the widest jobs (>= 32 midplanes) for a
+	// subset of "capability" users, mirroring a capability system.
+	WideUserBias float64
+}
+
+// DefaultSpec returns the Intrepid-like configuration. scale in (0, 1]
+// shrinks the campaign (scale 1 is the full 237-day, ~290 jobs/day
+// campaign).
+func DefaultSpec(seed int64, scale float64) Spec {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	days := int(math.Max(math.Round(237*scale), 7))
+	return Spec{
+		Seed:             seed,
+		Start:            time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC),
+		Days:             days,
+		JobsPerDay:       290,
+		NumUsers:         236,
+		NumProjects:      91,
+		ExecsPerUserMean: 41, // ~9,664 executables over 236 users
+		BuggyFraction:    0.007,
+		BugMeanDelaySec:  600, // most app errors well within the first hour
+		BugMaxFailRuns:   4,
+		MaxRuntimeSec:    113.5 * 3600,
+		WideUserBias:     0.15,
+	}
+}
+
+// Generator produces the executable population and the planned
+// submission stream.
+type Generator struct {
+	spec  Spec
+	execs []ExecSpec
+	subs  []Submission
+}
+
+// New builds the population and submission stream deterministically
+// from spec. appCodes supplies the application-error ERRCODEs buggy
+// executables may raise, with weights; pass errcat.Intrepid()'s
+// application class.
+func New(spec Spec, appCodes []errcat.Code) (*Generator, error) {
+	if spec.Days <= 0 || spec.JobsPerDay <= 0 {
+		return nil, fmt.Errorf("workload: non-positive campaign (days=%d rate=%v)", spec.Days, spec.JobsPerDay)
+	}
+	if spec.NumUsers <= 0 || spec.NumProjects <= 0 {
+		return nil, fmt.Errorf("workload: need users and projects")
+	}
+	if len(appCodes) == 0 && spec.BuggyFraction > 0 {
+		return nil, fmt.Errorf("workload: buggy fraction %v but no application codes", spec.BuggyFraction)
+	}
+	g := &Generator{spec: spec}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g.buildExecs(rng, appCodes)
+	g.buildSubmissions(rng)
+	return g, nil
+}
+
+// Spec returns the generator's configuration.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Executables returns the executable table (shared; do not mutate).
+func (g *Generator) Executables() []ExecSpec { return g.execs }
+
+// Submissions returns the planned submissions sorted by time (shared;
+// do not mutate).
+func (g *Generator) Submissions() []Submission { return g.subs }
+
+// weightedPick returns an index into weights proportional to weight.
+func weightedPick(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func (g *Generator) buildExecs(rng *rand.Rand, appCodes []errcat.Code) {
+	spec := g.spec
+	// Target executable count tracks the campaign size so the
+	// jobs-per-executable ratio stays Intrepid-like at any scale.
+	targetExecs := int(float64(spec.NumUsers) * spec.ExecsPerUserMean *
+		(float64(spec.Days) * spec.JobsPerDay) / (237.0 * 290.0))
+	if targetExecs < spec.NumUsers {
+		targetExecs = spec.NumUsers
+	}
+
+	// Project membership: each user belongs to one project; projects get
+	// users round-robin with a skewed extra share for low-index projects.
+	userProject := make([]int, spec.NumUsers)
+	for u := range userProject {
+		userProject[u] = u % spec.NumProjects
+	}
+
+	// Capability users may submit wide jobs.
+	wideUsers := make(map[int]bool)
+	nWide := int(float64(spec.NumUsers) * spec.WideUserBias)
+	if nWide < 1 {
+		nWide = 1
+	}
+	for len(wideUsers) < nWide {
+		wideUsers[rng.Intn(spec.NumUsers)] = true
+	}
+
+	sizeW := make([]float64, len(Sizes))
+	for i, s := range Sizes {
+		sizeW[i] = sizeWeights[s]
+	}
+
+	appW := make([]float64, len(appCodes))
+	for i, c := range appCodes {
+		appW[i] = c.Weight
+	}
+
+	wideUserList := make([]int, 0, len(wideUsers))
+	for u := range wideUsers {
+		wideUserList = append(wideUserList, u)
+	}
+	sort.Ints(wideUserList)
+
+	g.execs = make([]ExecSpec, 0, targetExecs)
+	for i := 0; i < targetExecs; i++ {
+		// Executable ownership is skewed: prolific users own many
+		// executables (and therefore also most of the buggy ones), which
+		// keeps each user's failed-job portion small (Obs. 12).
+		user := int(float64(spec.NumUsers) * math.Pow(rng.Float64(), 2.2))
+		if user >= spec.NumUsers {
+			user = spec.NumUsers - 1
+		}
+		size := Sizes[weightedPick(rng, sizeW)]
+		if size >= 32 {
+			// Capability jobs belong to capability users; the size
+			// marginals of Table VI are preserved.
+			user = wideUserList[rng.Intn(len(wideUserList))]
+		}
+		e := ExecSpec{
+			Path:    fmt.Sprintf("/gpfs/home/u%03d/bin/app%05d.exe", user, i),
+			User:    fmt.Sprintf("u%03d", user),
+			Project: fmt.Sprintf("proj%02d", userProject[user]),
+			Size:    size,
+			Planned: drawPlannedSubmissions(rng),
+		}
+		// Users request capability scale only for well-debugged codes
+		// (the paper: no application-error interruption on jobs wider
+		// than 32 midplanes running longer than 1,000 s), so wide
+		// executables are rarely buggy.
+		buggyProb := spec.BuggyFraction
+		if size >= 32 {
+			buggyProb *= 0.15
+		}
+		if rng.Float64() < buggyProb {
+			code := appCodes[weightedPick(rng, appW)]
+			e.Bug = Bug{
+				Code:         code.Name,
+				MeanDelaySec: spec.BugMeanDelaySec,
+				FailRuns:     1 + rng.Intn(spec.BugMaxFailRuns),
+			}
+		}
+		g.execs = append(g.execs, e)
+	}
+}
+
+// drawPlannedSubmissions draws the number of planned submissions for
+// one executable: ~43% single-shot, the rest heavy-tailed, matching the
+// Intrepid ratio of 68,794 jobs to 9,664 distinct executables (~7.1
+// mean) with 5,547 resubmitted.
+func drawPlannedSubmissions(rng *rand.Rand) int {
+	if rng.Float64() < 0.43 {
+		return 1
+	}
+	// Shifted geometric-ish tail with mean ~11.7 so the global mean is
+	// ~0.43*1 + 0.57*11.7 ≈ 7.1.
+	n := 2
+	for rng.Float64() < 0.9116 && n < 4000 {
+		n++
+	}
+	return n
+}
+
+func (g *Generator) buildSubmissions(rng *rand.Rand) {
+	spec := g.spec
+	campaign := time.Duration(spec.Days) * 24 * time.Hour
+	target := int(float64(spec.Days) * spec.JobsPerDay)
+
+	// Users work in sessions: an executable's planned submissions are
+	// clustered into a few bursts (hours apart within a burst) rather
+	// than scattered uniformly over the campaign. This is what makes the
+	// job log exhibit the consecutive-resubmission structure behind
+	// Figure 7.
+	var all []Submission
+	for i, e := range g.execs {
+		remaining := e.Planned
+		for remaining > 0 {
+			size := 1 + rng.Intn(6)
+			if size > remaining {
+				size = remaining
+			}
+			remaining -= size
+			at := spec.Start.Add(time.Duration(rng.Float64() * float64(campaign)))
+			for k := 0; k < size; k++ {
+				all = append(all, Submission{
+					At:      at,
+					Exec:    i,
+					Runtime: g.DrawRuntime(rng, e.Size),
+				})
+				gap := math.Exp(math.Log(600) + rng.Float64()*(math.Log(6*3600)-math.Log(600)))
+				at = at.Add(time.Duration(gap * float64(time.Second)))
+			}
+		}
+	}
+	// Trim to the campaign window and the target volume, preserving each
+	// executable's share.
+	kept := all[:0]
+	end := spec.Start.Add(campaign)
+	for _, s := range all {
+		if s.At.Before(end) {
+			kept = append(kept, s)
+		}
+	}
+	all = kept
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if len(all) > target {
+		all = all[:target]
+	}
+	for len(all) < target {
+		i := rng.Intn(len(g.execs))
+		all = append(all, Submission{
+			At:      spec.Start.Add(time.Duration(rng.Float64() * float64(campaign))),
+			Exec:    i,
+			Runtime: g.DrawRuntime(rng, g.execs[i].Size),
+		})
+	}
+	g.subs = all
+	sort.Slice(g.subs, func(i, j int) bool { return g.subs[i].At.Before(g.subs[j].At) })
+}
+
+// DrawRuntime draws an intended runtime for a job of the given width
+// from the Table VI per-width bin distribution, log-uniform within the
+// chosen bin.
+func (g *Generator) DrawRuntime(rng *rand.Rand, size int) time.Duration {
+	w, ok := runtimeBinWeights[size]
+	if !ok {
+		w = runtimeBinWeights[1]
+	}
+	bin := weightedPick(rng, w[:])
+	lo := RuntimeBinEdges[bin]
+	var hi float64
+	if bin+1 < len(RuntimeBinEdges) {
+		hi = RuntimeBinEdges[bin+1]
+	} else {
+		// Open-ended bin (>= 6400 s): the population decays quickly —
+		// most such jobs finish within a work shift, with a rare tail
+		// out to the 113.5 h maximum. A flat log-uniform draw to the
+		// maximum would demand more midplane-hours than the machine has.
+		hi = 5 * 3600
+		if rng.Float64() < 0.02 {
+			lo, hi = hi, g.spec.MaxRuntimeSec
+		}
+	}
+	sec := math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ResubmitDelay draws the delay between an interruption and the user's
+// resubmission: minutes-scale, heavy-tailed (log-uniform 2 min – 4 h).
+func ResubmitDelay(rng *rand.Rand) time.Duration {
+	lo, hi := 120.0, 4*3600.0
+	sec := math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+	return time.Duration(sec * float64(time.Second))
+}
+
+// BugDelay draws the time-to-failure of a buggy run.
+func (b Bug) BugDelay(rng *rand.Rand) time.Duration {
+	d := rng.ExpFloat64() * b.MeanDelaySec
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d * float64(time.Second))
+}

@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/errcat"
+)
+
+func testGen(t *testing.T, seed int64, scale float64) *Generator {
+	t.Helper()
+	cat := errcat.Intrepid()
+	g, err := New(DefaultSpec(seed, scale), cat.ByClass(errcat.ClassApplication))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := testGen(t, 1, 0.1)
+	b := testGen(t, 1, 0.1)
+	if len(a.Submissions()) != len(b.Submissions()) {
+		t.Fatal("submission counts differ across identical seeds")
+	}
+	for i := range a.Submissions() {
+		if a.Submissions()[i] != b.Submissions()[i] {
+			t.Fatalf("submission %d differs", i)
+		}
+	}
+	c := testGen(t, 2, 0.1)
+	same := len(a.Submissions()) == len(c.Submissions())
+	if same {
+		identical := true
+		for i := range a.Submissions() {
+			if a.Submissions()[i] != c.Submissions()[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestSubmissionsSortedAndInRange(t *testing.T) {
+	g := testGen(t, 1, 0.1)
+	spec := g.Spec()
+	end := spec.Start.Add(time.Duration(spec.Days) * 24 * time.Hour)
+	subs := g.Submissions()
+	if len(subs) == 0 {
+		t.Fatal("no submissions")
+	}
+	for i, s := range subs {
+		if i > 0 && s.At.Before(subs[i-1].At) {
+			t.Fatal("submissions not time-sorted")
+		}
+		if s.At.Before(spec.Start) || !s.At.Before(end) {
+			t.Fatalf("submission %d outside campaign: %v", i, s.At)
+		}
+		if s.Exec < 0 || s.Exec >= len(g.Executables()) {
+			t.Fatalf("submission %d has bad exec index %d", i, s.Exec)
+		}
+		if s.Runtime < 10*time.Second || s.Runtime > time.Duration(spec.MaxRuntimeSec*float64(time.Second))+time.Second {
+			t.Fatalf("submission %d runtime %v out of range", i, s.Runtime)
+		}
+	}
+}
+
+func TestSubmissionVolumeMatchesRate(t *testing.T) {
+	g := testGen(t, 1, 0.1)
+	spec := g.Spec()
+	want := float64(spec.Days) * spec.JobsPerDay
+	got := float64(len(g.Submissions()))
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("submissions = %v, want ~%v", got, want)
+	}
+}
+
+func TestSizeMarginalsMatchTableVI(t *testing.T) {
+	g := testGen(t, 1, 0.5)
+	counts := map[int]int{}
+	for _, s := range g.Submissions() {
+		counts[g.Executables()[s.Exec].Size]++
+	}
+	total := len(g.Submissions())
+	// Narrow jobs dominate: width 1 is ~2/3 of jobs on Intrepid. Wide-
+	// user gating shifts some mass from wide to narrow, so bounds are loose.
+	frac1 := float64(counts[1]) / float64(total)
+	if frac1 < 0.5 || frac1 > 0.85 {
+		t.Errorf("width-1 share = %v, want ~0.675", frac1)
+	}
+	if counts[32]+counts[64]+counts[80] == 0 {
+		t.Error("no wide jobs generated")
+	}
+	if float64(counts[80])/float64(total) > 0.02 {
+		t.Errorf("width-80 share too large: %v", counts[80])
+	}
+}
+
+func TestRuntimeBinsFollowTableVI(t *testing.T) {
+	g := testGen(t, 1, 0.5)
+	// Width-1 jobs: Table VI row is 12282/7300/17339/9492 → bin 2
+	// (1600-6400s) is the mode.
+	bins := [4]int{}
+	n := 0
+	for _, s := range g.Submissions() {
+		if g.Executables()[s.Exec].Size != 1 {
+			continue
+		}
+		sec := s.Runtime.Seconds()
+		switch {
+		case sec < 400:
+			bins[0]++
+		case sec < 1600:
+			bins[1]++
+		case sec < 6400:
+			bins[2]++
+		default:
+			bins[3]++
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no width-1 jobs")
+	}
+	if !(bins[2] > bins[0] && bins[2] > bins[1] && bins[2] > bins[3]) {
+		t.Errorf("width-1 runtime bins = %v; mode should be bin 2", bins)
+	}
+}
+
+func TestExecutablePopulation(t *testing.T) {
+	g := testGen(t, 1, 0.5)
+	execs := g.Executables()
+	if len(execs) == 0 {
+		t.Fatal("no executables")
+	}
+	users := map[string]bool{}
+	projects := map[string]bool{}
+	paths := map[string]bool{}
+	buggy := 0
+	for _, e := range execs {
+		users[e.User] = true
+		projects[e.Project] = true
+		if paths[e.Path] {
+			t.Fatalf("duplicate executable path %q", e.Path)
+		}
+		paths[e.Path] = true
+		if e.Bug.Buggy() {
+			buggy++
+			if e.Bug.FailRuns < 1 || e.Bug.FailRuns > g.Spec().BugMaxFailRuns {
+				t.Errorf("bug FailRuns = %d out of range", e.Bug.FailRuns)
+			}
+		}
+		if e.Planned < 1 {
+			t.Errorf("executable %q planned %d", e.Path, e.Planned)
+		}
+	}
+	if len(users) < 100 {
+		t.Errorf("only %d users", len(users))
+	}
+	if len(projects) < 30 {
+		t.Errorf("only %d projects", len(projects))
+	}
+	frac := float64(buggy) / float64(len(execs))
+	if frac < 0.005 || frac > 0.04 {
+		t.Errorf("buggy fraction = %v, want ~0.015", frac)
+	}
+}
+
+func TestResubmissionHeavyTail(t *testing.T) {
+	g := testGen(t, 1, 1.0)
+	// Mean submissions per executable ~7; a large minority single-shot.
+	counts := map[int]int{}
+	for _, s := range g.Submissions() {
+		counts[s.Exec]++
+	}
+	single, multi, total := 0, 0, 0
+	for _, n := range counts {
+		total += n
+		if n == 1 {
+			single++
+		} else {
+			multi++
+		}
+	}
+	mean := float64(total) / float64(len(counts))
+	if mean < 3 || mean > 15 {
+		t.Errorf("mean submissions/executable = %v, want ~7", mean)
+	}
+	if multi == 0 || single == 0 {
+		t.Errorf("degenerate resubmission distribution: single=%d multi=%d", single, multi)
+	}
+}
+
+func TestBugDelayMostlyUnderOneHour(t *testing.T) {
+	g := testGen(t, 1, 0.1)
+	b := Bug{Code: "x", MeanDelaySec: g.Spec().BugMeanDelaySec, FailRuns: 1}
+	rng := newRand(9)
+	under := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if b.BugDelay(rng) < time.Hour {
+			under++
+		}
+	}
+	if frac := float64(under) / n; frac < 0.70 {
+		t.Errorf("bug delays under 1h = %v, want >= 0.70 (Obs. 11)", frac)
+	}
+}
+
+func TestResubmitDelayRange(t *testing.T) {
+	rng := newRand(3)
+	for i := 0; i < 1000; i++ {
+		d := ResubmitDelay(rng)
+		if d < 2*time.Minute || d > 4*time.Hour+time.Second {
+			t.Fatalf("resubmit delay %v out of range", d)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	cat := errcat.Intrepid()
+	app := cat.ByClass(errcat.ClassApplication)
+	bad := DefaultSpec(1, 0.1)
+	bad.Days = 0
+	if _, err := New(bad, app); err == nil {
+		t.Error("zero days accepted")
+	}
+	bad = DefaultSpec(1, 0.1)
+	bad.NumUsers = 0
+	if _, err := New(bad, app); err == nil {
+		t.Error("zero users accepted")
+	}
+	bad = DefaultSpec(1, 0.1)
+	if _, err := New(bad, nil); err == nil {
+		t.Error("buggy fraction without app codes accepted")
+	}
+}
+
+// newRand is a test helper for a deterministic rng.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

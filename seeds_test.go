@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"testing"
+)
+
+// TestObservationsHoldAcrossSeeds guards the headline directional
+// claims against single-seed luck: every shape target of the paper must
+// hold on three independent campaigns.
+func TestObservationsHoldAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed campaign sweep")
+	}
+	for _, seed := range []int64{11, 22, 33} {
+		seed := seed
+		t.Run(string(rune('A'+seed%26)), func(t *testing.T) {
+			t.Parallel()
+			cfg := QuickConfig(seed)
+			cfg.Days = 90
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := rep.Summary()
+
+			// Obs. 1: a material fraction of fatal events never impact jobs.
+			if s.NonImpactingEventFraction < 0.05 || s.NonImpactingEventFraction > 0.8 {
+				t.Errorf("non-impacting fraction %.3f out of band", s.NonImpactingEventFraction)
+			}
+			// Obs. 2: system types dominate; app fraction is a minority share.
+			if s.SystemTypes <= s.ApplicationTypes {
+				t.Errorf("types %d/%d: system should dominate", s.SystemTypes, s.ApplicationTypes)
+			}
+			if s.ApplicationEventFraction <= 0 || s.ApplicationEventFraction > 0.5 {
+				t.Errorf("app event fraction %.3f out of band", s.ApplicationEventFraction)
+			}
+			// Obs. 3: job-related redundancy exists and the scheduler
+			// reuses failed partitions.
+			if s.JobRedundantRemoved == 0 {
+				t.Error("no job-related redundancy")
+			}
+			if s.SameLocationResubmits < 0.3 || s.SameLocationResubmits > 0.9 {
+				t.Errorf("same-location resubmissions %.3f out of band", s.SameLocationResubmits)
+			}
+			// Obs. 4: decreasing hazard; filtering raises shape and MTBF.
+			if s.WeibullShapeBefore >= 1 || s.WeibullShapeAfter >= 1 {
+				t.Errorf("shapes %.3f/%.3f not both < 1", s.WeibullShapeBefore, s.WeibullShapeAfter)
+			}
+			if s.WeibullShapeAfter <= s.WeibullShapeBefore {
+				t.Errorf("shape did not rise: %.3f -> %.3f", s.WeibullShapeBefore, s.WeibullShapeAfter)
+			}
+			if s.MTBFRatio <= 1 {
+				t.Errorf("MTBF ratio %.3f <= 1", s.MTBFRatio)
+			}
+			// Obs. 5: failures follow wide-job workload, not raw workload.
+			if s.CorrWideWorkload <= s.CorrWorkload {
+				t.Errorf("corr wide %.2f <= corr raw %.2f", s.CorrWideWorkload, s.CorrWorkload)
+			}
+			if s.BandFatalShare < 0.4 {
+				t.Errorf("band fatal share %.3f < 0.4", s.BandFatalShare)
+			}
+			// Obs. 6: interruptions are rare.
+			if s.InterruptedJobFraction <= 0 || s.InterruptedJobFraction > 0.05 {
+				t.Errorf("interrupted fraction %.4f out of band", s.InterruptedJobFraction)
+			}
+			// Obs. 7: MTTI above MTBF; system interruptions outnumber app.
+			if s.MTTIOverMTBF <= 1 {
+				t.Errorf("MTTI/MTBF %.3f <= 1", s.MTTIOverMTBF)
+			}
+			if s.SystemInterruptions <= s.AppInterruptions {
+				t.Errorf("interruptions %d/%d: system should dominate",
+					s.SystemInterruptions, s.AppInterruptions)
+			}
+			// Obs. 8: spatial propagation is the exception.
+			if s.SpatialFraction > 0.3 {
+				t.Errorf("spatial fraction %.3f too high", s.SpatialFraction)
+			}
+			// Obs. 9: resubmissions after interruptions are far riskier
+			// than fresh submissions.
+			if s.ResubRiskSystemK1 <= 3*s.InterruptedJobFraction {
+				t.Errorf("k=1 resubmit risk %.3f not above base %.4f",
+					s.ResubRiskSystemK1, s.InterruptedJobFraction)
+			}
+			// Obs. 11: application errors come early.
+			if s.EarlyAppFraction < 0.5 {
+				t.Errorf("early app fraction %.3f < 0.5", s.EarlyAppFraction)
+			}
+		})
+	}
+}
