@@ -1,0 +1,39 @@
+# Tier-1 gate: `make check` is what CI runs on every change — build,
+# vet, tests, and the race-detector pass that guards the parallel
+# analysis engine (see internal/parallel and TestParallelMatchesSequential).
+
+GO ?= go
+
+.PHONY: all build vet test race check fuzz bench golden
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Every concurrency change must survive the race detector; the
+# equivalence and sharding tests run under it here.
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+# Short fuzz smoke of the two line parsers (the checked-in corpora and
+# seed inputs always run as part of `test`; this explores further).
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/raslog -fuzz FuzzParseRecord -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/joblog -fuzz FuzzParseJob -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Regenerate the golden report after an intentional output change.
+golden:
+	$(GO) test ./cmd/bgpreport -run TestGoldenReport -update

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden file:
+//
+//	go test ./cmd/bgpreport -run TestGoldenReport -update
+var update = flag.Bool("update", false, "rewrite the golden report file")
+
+const goldenPath = "testdata/report_seed1.golden"
+
+// TestGoldenReport renders the full report at seed 1 (quick campaign)
+// and compares it byte for byte against the checked-in golden file.
+// This is the byte-identity oracle the parallel paths are verified
+// against: the default run exercises the parallel engine at GOMAXPROCS
+// workers, and any scheduling-dependent divergence — ordering, float
+// summation, map iteration — shows up here as a diff.
+func TestGoldenReport(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "1"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.Bytes()
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report differs from %s:\n%s\n(run with -update if the change is intentional)",
+			goldenPath, firstDiff(got, want))
+	}
+}
+
+// TestGoldenReportParallelismInvariant renders the same report with the
+// fan-outs forced sequential and at 8 workers; both must match the
+// golden file exactly.
+func TestGoldenReportParallelismInvariant(t *testing.T) {
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run TestGoldenReport with -update first)", err)
+	}
+	for _, p := range []string{"1", "8"} {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-quick", "-seed", "1", "-parallelism", p}, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("-parallelism %s diverges from golden:\n%s", p, firstDiff(out.Bytes(), want))
+		}
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(got, want []byte) string {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: got %d lines, want %d", len(gl), len(wl))
+}

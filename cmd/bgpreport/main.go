@@ -7,6 +7,8 @@
 //	bgpreport                # full 237-day campaign
 //	bgpreport -quick         # ~60-day campaign, seconds to run
 //	bgpreport -seed 7 -days 120 -summary
+//	bgpreport -quick -seeds 8            # 8-seed ensemble: mean ± 95% CI
+//	bgpreport -parallelism 1             # force the sequential path
 package main
 
 import (
@@ -29,10 +31,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bgpreport", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		seed    = fs.Int64("seed", 1, "campaign seed")
-		days    = fs.Int("days", 237, "campaign length in days")
-		quick   = fs.Bool("quick", false, "use the reduced quick configuration")
-		summary = fs.Bool("summary", false, "print only the paper-vs-measured summary")
+		seed        = fs.Int64("seed", 1, "campaign seed")
+		days        = fs.Int("days", 237, "campaign length in days")
+		quick       = fs.Bool("quick", false, "use the reduced quick configuration")
+		summary     = fs.Bool("summary", false, "print only the paper-vs-measured summary")
+		seeds       = fs.Int("seeds", 1, "number of ensemble seeds (seed..seed+n-1); >1 prints mean ± 95% CI per observation")
+		parallelism = fs.Int("parallelism", 0, "worker bound for all fan-outs (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +47,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *quick {
 		cfg = repro.QuickConfig(*seed)
 	}
+	cfg.Parallelism = *parallelism
+	cfg.Seeds = *seeds
+
+	if cfg.Seeds > 1 {
+		ens, err := repro.RunEnsemble(cfg)
+		if err != nil {
+			return err
+		}
+		return ens.Render(stdout)
+	}
+
 	rep, err := repro.Run(cfg)
 	if err != nil {
 		return err

@@ -28,6 +28,13 @@ type Config struct {
 	// MatchTolerance is the slack allowed between a job's end time and
 	// the matched event's time span.
 	MatchTolerance time.Duration
+	// Parallelism bounds the worker count of the analysis fan-outs —
+	// the per-midplane fit census, the per-midplane characteristic
+	// series, and the per-cause interruption fits (0 = GOMAXPROCS,
+	// 1 = sequential). Results are byte-identical at every setting:
+	// workers only compute independent slots and the merge folds them
+	// in a fixed order.
+	Parallelism int
 }
 
 // DefaultConfig returns the thresholds used throughout the paper's
@@ -100,6 +107,11 @@ func Analyze(cfg Config, ras *raslog.Store, jobs *joblog.Log) (*Analysis, error)
 	}
 	if cfg.MatchTolerance <= 0 {
 		cfg.MatchTolerance = 5 * time.Minute
+	}
+	// The analysis-level knob governs the filter cascade too, unless
+	// the caller tuned the cascade separately.
+	if cfg.Filter.Parallelism == 0 {
+		cfg.Filter.Parallelism = cfg.Parallelism
 	}
 	a := &Analysis{cfg: cfg, Jobs: jobs}
 

@@ -43,6 +43,13 @@ func (e *Event) OnMidplane(mp int) bool {
 
 // Config holds the cascade thresholds.
 type Config struct {
+	// Parallelism bounds the worker count of the concurrent stage
+	// runners (0 = GOMAXPROCS, 1 = sequential). Every worker count
+	// produces byte-identical output: the temporal and spatial passes
+	// shard by their cluster key (location+code, code) and merge in
+	// first-record order, and causality mining merges commutative
+	// counts, so the cascade's result never depends on scheduling.
+	Parallelism int
 	// TemporalWindow collapses records with the same (location, code)
 	// whose gap is at most this (Liang et al. use 5 minutes).
 	TemporalWindow time.Duration
@@ -91,15 +98,18 @@ func (s Stats) CompressionRatio() float64 {
 }
 
 // Pipeline runs the full cascade over the FATAL records of a store and
-// returns the independent events in time order.
+// returns the independent events in time order. The temporal, spatial
+// and causality-mining passes run on cfg.Parallelism workers; the
+// output is byte-identical to the sequential cascade for any worker
+// count (see Config.Parallelism).
 func Pipeline(cfg Config, fatal []raslog.Record) ([]*Event, Stats) {
 	var st Stats
 	st.Input = len(fatal)
-	t := Temporal(cfg.TemporalWindow, fatal)
+	t := temporalSharded(cfg.Parallelism, cfg.TemporalWindow, fatal)
 	st.AfterTemporal = len(t)
-	s := Spatial(cfg.SpatialWindow, t)
+	s := spatialSharded(cfg.Parallelism, cfg.SpatialWindow, t)
 	st.AfterSpatial = len(s)
-	rules := MineCausality(cfg, s)
+	rules := mineCausalitySharded(cfg.Parallelism, cfg, s)
 	c := Causality(cfg.CausalityWindow, rules, s)
 	st.AfterCausality = len(c)
 	return c, st
@@ -115,31 +125,7 @@ type locKey struct {
 // gap is at most window. Records must be time-ordered. The result is
 // one Event per cluster, still location-specific.
 func Temporal(window time.Duration, recs []raslog.Record) []*Event {
-	open := make(map[locKey]*Event)
-	lastSeen := make(map[locKey]time.Time)
-	var out []*Event
-	for i := range recs {
-		r := &recs[i]
-		k := locKey{loc: r.Location, code: r.ErrCode}
-		ev, ok := open[k]
-		if ok && r.EventTime.Sub(lastSeen[k]) <= window {
-			ev.Last = r.EventTime
-			ev.Size++
-			lastSeen[k] = r.EventTime
-			continue
-		}
-		ev = &Event{
-			Code:      r.ErrCode,
-			Component: r.Component,
-			First:     r.EventTime,
-			Last:      r.EventTime,
-			Midplanes: raslog.RecordMidplanes(*r),
-			Size:      1,
-		}
-		open[k] = ev
-		lastSeen[k] = r.EventTime
-		out = append(out, ev)
-	}
+	out := untag(temporalCluster(window, recs, allIndices(len(recs))))
 	sortEvents(out)
 	return out
 }
@@ -147,30 +133,16 @@ func Temporal(window time.Duration, recs []raslog.Record) []*Event {
 // Spatial merges same-code events (from different locations) whose gap
 // is at most window. Input must be time-ordered (Temporal output is).
 func Spatial(window time.Duration, events []*Event) []*Event {
-	open := make(map[string]*Event)
-	var out []*Event
-	for _, ev := range events {
-		cur, ok := open[ev.Code]
-		if ok && ev.First.Sub(cur.Last) <= window {
-			if ev.Last.After(cur.Last) {
-				cur.Last = ev.Last
-			}
-			cur.Size += ev.Size
-			cur.Midplanes = mergeInts(cur.Midplanes, ev.Midplanes)
-			continue
-		}
-		merged := &Event{
-			Code:      ev.Code,
-			Component: ev.Component,
-			First:     ev.First,
-			Last:      ev.Last,
-			Midplanes: append([]int(nil), ev.Midplanes...),
-			Size:      ev.Size,
-		}
-		open[ev.Code] = merged
-		out = append(out, merged)
-	}
+	out := untag(spatialCluster(window, events, allIndices(len(events))))
 	sortEvents(out)
+	return out
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
 	return out
 }
 
@@ -184,29 +156,20 @@ type Rule struct {
 	Confidence float64
 }
 
+// codePair is a (leader, follower) ERRCODE pair.
+type codePair struct{ a, b string }
+
 // MineCausality scans the event stream for leader→follower pairs that
 // co-occur within the causality window with enough support and
 // confidence. Self-pairs are excluded (temporal filtering owns those).
 func MineCausality(cfg Config, events []*Event) []Rule {
-	type pair struct{ a, b string }
-	coCount := make(map[pair]int)
-	total := make(map[string]int)
-	for i, ev := range events {
-		total[ev.Code]++
-		// Look back over the window for distinct leaders.
-		seen := make(map[string]bool)
-		for j := i - 1; j >= 0; j-- {
-			lead := events[j]
-			if ev.First.Sub(lead.First) > cfg.CausalityWindow {
-				break
-			}
-			if lead.Code == ev.Code || seen[lead.Code] {
-				continue
-			}
-			seen[lead.Code] = true
-			coCount[pair{lead.Code, ev.Code}]++
-		}
-	}
+	pc := mineChunk(cfg, events, 0, len(events))
+	return rulesFromCounts(cfg, pc.co, pc.total)
+}
+
+// rulesFromCounts turns mined co-occurrence counts into the sorted rule
+// set.
+func rulesFromCounts(cfg Config, coCount map[codePair]int, total map[string]int) []Rule {
 	var rules []Rule
 	for p, n := range coCount {
 		if n < cfg.CausalityMinSupport {

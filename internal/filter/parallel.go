@@ -1,0 +1,205 @@
+package filter
+
+import (
+	"context"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/raslog"
+)
+
+// The sharded stage runners exploit that temporal clustering only ever
+// merges records sharing a (location, code) key and spatial clustering
+// only events sharing a code: partitioning the input by that key gives
+// workers fully independent streams. Each emitted event is tagged with
+// the input index of its first constituent, and the shards' outputs are
+// merged in tag order — exactly the creation order of the sequential
+// pass — before the usual stable sort by event time. The result is
+// byte-identical to the sequential stage for any worker count.
+
+// tagged pairs an event with the input index of its first constituent.
+type tagged struct {
+	ev  *Event
+	idx int
+}
+
+func untag(tg []tagged) []*Event {
+	sort.Slice(tg, func(i, j int) bool { return tg[i].idx < tg[j].idx })
+	out := make([]*Event, len(tg))
+	for i, t := range tg {
+		out[i] = t.ev
+	}
+	return out
+}
+
+// shardOf assigns a cluster key to one of w shards, deterministically.
+func shardOf(key string, w int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(w))
+}
+
+// temporalCluster runs the temporal clustering over the records named
+// by idxs (which must be increasing), tagging each cluster with its
+// first record index.
+func temporalCluster(window time.Duration, recs []raslog.Record, idxs []int) []tagged {
+	open := make(map[locKey]*Event)
+	lastSeen := make(map[locKey]time.Time)
+	out := make([]tagged, 0, len(idxs))
+	for _, i := range idxs {
+		r := &recs[i]
+		k := locKey{loc: r.Location, code: r.ErrCode}
+		ev, ok := open[k]
+		if ok && r.EventTime.Sub(lastSeen[k]) <= window {
+			ev.Last = r.EventTime
+			ev.Size++
+			lastSeen[k] = r.EventTime
+			continue
+		}
+		ev = &Event{
+			Code:      r.ErrCode,
+			Component: r.Component,
+			First:     r.EventTime,
+			Last:      r.EventTime,
+			Midplanes: raslog.RecordMidplanes(*r),
+			Size:      1,
+		}
+		open[k] = ev
+		lastSeen[k] = r.EventTime
+		out = append(out, tagged{ev: ev, idx: i})
+	}
+	return out
+}
+
+// temporalSharded is Temporal on the given worker count.
+func temporalSharded(workers int, window time.Duration, recs []raslog.Record) []*Event {
+	w := parallel.Workers(workers)
+	if w <= 1 || len(recs) < 2*w {
+		return Temporal(window, recs)
+	}
+	shards := make([][]int, w)
+	for i := range recs {
+		s := shardOf(recs[i].Location+"\x00"+recs[i].ErrCode, w)
+		shards[s] = append(shards[s], i)
+	}
+	parts, _ := parallel.Map(context.Background(), w, w, func(s int) ([]tagged, error) {
+		return temporalCluster(window, recs, shards[s]), nil
+	})
+	var all []tagged
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	out := untag(all)
+	sortEvents(out)
+	return out
+}
+
+// spatialCluster runs the spatial merge over the events named by idxs
+// (increasing), tagging each merged cluster with its first event index.
+func spatialCluster(window time.Duration, events []*Event, idxs []int) []tagged {
+	open := make(map[string]*Event)
+	var out []tagged
+	for _, i := range idxs {
+		ev := events[i]
+		cur, ok := open[ev.Code]
+		if ok && ev.First.Sub(cur.Last) <= window {
+			if ev.Last.After(cur.Last) {
+				cur.Last = ev.Last
+			}
+			cur.Size += ev.Size
+			cur.Midplanes = mergeInts(cur.Midplanes, ev.Midplanes)
+			continue
+		}
+		merged := &Event{
+			Code:      ev.Code,
+			Component: ev.Component,
+			First:     ev.First,
+			Last:      ev.Last,
+			Midplanes: append([]int(nil), ev.Midplanes...),
+			Size:      ev.Size,
+		}
+		open[ev.Code] = merged
+		out = append(out, tagged{ev: merged, idx: i})
+	}
+	return out
+}
+
+// spatialSharded is Spatial on the given worker count.
+func spatialSharded(workers int, window time.Duration, events []*Event) []*Event {
+	w := parallel.Workers(workers)
+	if w <= 1 || len(events) < 2*w {
+		return Spatial(window, events)
+	}
+	shards := make([][]int, w)
+	for i, ev := range events {
+		s := shardOf(ev.Code, w)
+		shards[s] = append(shards[s], i)
+	}
+	parts, _ := parallel.Map(context.Background(), w, w, func(s int) ([]tagged, error) {
+		return spatialCluster(window, events, shards[s]), nil
+	})
+	var all []tagged
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	out := untag(all)
+	sortEvents(out)
+	return out
+}
+
+// pairCount is one shard's partial causality-mining aggregate.
+type pairCount struct {
+	co    map[codePair]int
+	total map[string]int
+}
+
+// mineChunk counts leader→follower co-occurrences for events in
+// [lo, hi); the lookback may cross the chunk boundary (the events slice
+// is shared read-only), so chunking changes nothing about which pairs
+// are counted.
+func mineChunk(cfg Config, events []*Event, lo, hi int) pairCount {
+	pc := pairCount{co: make(map[codePair]int), total: make(map[string]int)}
+	for i := lo; i < hi; i++ {
+		ev := events[i]
+		pc.total[ev.Code]++
+		seen := make(map[string]bool)
+		for j := i - 1; j >= 0; j-- {
+			lead := events[j]
+			if ev.First.Sub(lead.First) > cfg.CausalityWindow {
+				break
+			}
+			if lead.Code == ev.Code || seen[lead.Code] {
+				continue
+			}
+			seen[lead.Code] = true
+			pc.co[codePair{lead.Code, ev.Code}]++
+		}
+	}
+	return pc
+}
+
+// mineCausalitySharded is MineCausality on the given worker count: the
+// per-event lookback scan is chunked across workers and the commutative
+// integer counts are merged, so the mined rule set is identical.
+func mineCausalitySharded(workers int, cfg Config, events []*Event) []Rule {
+	w := parallel.Workers(workers)
+	if w <= 1 || len(events) < 2*w {
+		return MineCausality(cfg, events)
+	}
+	chunks := parallel.Chunks(w, len(events))
+	parts, _ := parallel.Map(context.Background(), w, len(chunks), func(c int) (pairCount, error) {
+		return mineChunk(cfg, events, chunks[c][0], chunks[c][1]), nil
+	})
+	merged := pairCount{co: make(map[codePair]int), total: make(map[string]int)}
+	for _, p := range parts {
+		for k, n := range p.co {
+			merged.co[k] += n
+		}
+		for k, n := range p.total {
+			merged.total[k] += n
+		}
+	}
+	return rulesFromCounts(cfg, merged.co, merged.total)
+}

@@ -1,0 +1,70 @@
+package filter
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestShardedStagesMatchSequential is the stage-level determinism
+// oracle: every worker count must reproduce the sequential cascade
+// byte for byte, on streams with bursts, shared codes, and collisions.
+func TestShardedStagesMatchSequential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		recs := randomFatalStream(seed, 5000)
+
+		wantT := Temporal(5*time.Minute, recs)
+		wantS := Spatial(5*time.Minute, wantT)
+		wantR := MineCausality(DefaultConfig(), wantS)
+
+		for _, p := range []int{2, 3, 8, 16} {
+			gotT := temporalSharded(p, 5*time.Minute, recs)
+			if !reflect.DeepEqual(gotT, wantT) {
+				t.Fatalf("seed %d p=%d: temporal shards diverge (%d vs %d events)",
+					seed, p, len(gotT), len(wantT))
+			}
+			gotS := spatialSharded(p, 5*time.Minute, gotT)
+			if !reflect.DeepEqual(gotS, wantS) {
+				t.Fatalf("seed %d p=%d: spatial shards diverge (%d vs %d events)",
+					seed, p, len(gotS), len(wantS))
+			}
+			gotR := mineCausalitySharded(p, DefaultConfig(), gotS)
+			if !reflect.DeepEqual(gotR, wantR) {
+				t.Fatalf("seed %d p=%d: mined rules diverge (%v vs %v)",
+					seed, p, gotR, wantR)
+			}
+		}
+	}
+}
+
+// TestPipelineParallelismKnob runs the whole cascade at several worker
+// counts and requires identical events and stats.
+func TestPipelineParallelismKnob(t *testing.T) {
+	recs := randomFatalStream(7, 8000)
+	seq := DefaultConfig()
+	seq.Parallelism = 1
+	wantEvs, wantSt := Pipeline(seq, recs)
+	for _, p := range []int{0, 2, 4, 9} {
+		cfg := DefaultConfig()
+		cfg.Parallelism = p
+		evs, st := Pipeline(cfg, recs)
+		if st != wantSt {
+			t.Fatalf("p=%d: stats %+v, want %+v", p, st, wantSt)
+		}
+		if !reflect.DeepEqual(evs, wantEvs) {
+			t.Fatalf("p=%d: events diverge (%d vs %d)", p, len(evs), len(wantEvs))
+		}
+	}
+}
+
+// TestShardedTinyInputs exercises the small-input fallbacks.
+func TestShardedTinyInputs(t *testing.T) {
+	for n := 0; n < 5; n++ {
+		recs := randomFatalStream(11, n)
+		want := Temporal(5*time.Minute, recs)
+		got := temporalSharded(8, 5*time.Minute, recs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: diverge", n)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package joblog
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// saneEpochRange bounds the timestamps for which we demand a perfectly
+// stable round trip. Cobalt epoch timestamps are fractional seconds in
+// a float64; inputs like 1e300 or NaN lose integer-nanosecond precision
+// by construction, so for those the parser must merely not panic and
+// must keep accepting its own output.
+var epochLo = time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
+var epochHi = time.Date(2200, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func saneEpoch(t time.Time) bool { return t.After(epochLo) && t.Before(epochHi) }
+
+// FuzzParseJob drives UnmarshalLine with arbitrary job-log lines:
+// malformed input must error (never panic), accepted input must
+// re-marshal to a line that parses again, and for timestamps in the
+// representable range the reparsed job must equal the first parse.
+func FuzzParseJob(f *testing.F) {
+	// Seed corpus from the round-trip fixtures.
+	start := time.Date(2008, 5, 1, 0, 0, 43, 0, time.UTC)
+	j := Job{
+		ID: 8935, Name: "N.A.", ExecFile: "/home/u/app.exe",
+		QueueTime: start.Add(-52 * time.Minute), StartTime: start, EndTime: start.Add(time.Hour),
+		Partition: bgp.Partition{Start: 16, Size: 4},
+		User:      "alice", Project: "climate",
+	}
+	f.Add(j.MarshalLine())
+	f.Add(mkJob(1, "/bin/x", start, start.Add(time.Minute), bgp.Partition{Start: 0, Size: 1}).MarshalLine())
+	wide := mkJob(2, `we|ird\exec`, start, start.Add(time.Hour), bgp.Partition{Start: 0, Size: 80})
+	f.Add(wide.MarshalLine())
+	f.Add("")
+	f.Add("1|n|e|0|0|0|R00-M0|u") // 8 fields
+	f.Add("x|n|e|0|0|0|R00-M0|u|p")
+	f.Add("1|n|e|zero|0|0|R00-M0|u|p")
+	f.Add("1|n|e|0|0|0|R99-M9|u|p")
+	f.Add("1|n|e|0|0|0|R00-M0..R00-M0|u|p")
+	f.Add("1|n|e|0|0|0|R00-R03|u|p")
+	f.Add("1|n|e|NaN|+Inf|-Inf|R00-M0|u|p")
+	f.Add("1|n|e|1e300|0|0|R00-M0|u|p")
+	f.Add(strings.Repeat("|", 8))
+
+	f.Fuzz(func(t *testing.T, line string) {
+		j, err := UnmarshalLine(line)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		line2 := j.MarshalLine()
+		j2, err := UnmarshalLine(line2)
+		if err != nil {
+			t.Fatalf("re-parse of own marshaling failed: %v\ninput: %q\nmarshaled: %q", err, line, line2)
+		}
+		if !saneEpoch(j.QueueTime) || !saneEpoch(j.StartTime) || !saneEpoch(j.EndTime) {
+			return // degenerate timestamps only guarantee re-acceptance
+		}
+		// Epoch serialization quantizes to 10ms, so the first
+		// normalization may shave sub-quantum digits; everything else
+		// must survive exactly.
+		const quantum = 10 * time.Millisecond
+		for _, d := range []time.Duration{
+			j2.QueueTime.Sub(j.QueueTime), j2.StartTime.Sub(j.StartTime), j2.EndTime.Sub(j.EndTime),
+		} {
+			if d > quantum || d < -quantum {
+				t.Fatalf("timestamp drift %v beyond the 10ms quantum:\ninput: %q", d, line)
+			}
+		}
+		j.QueueTime, j.StartTime, j.EndTime = j2.QueueTime, j2.StartTime, j2.EndTime
+		if j2 != j {
+			t.Fatalf("non-timestamp field changed in round trip:\ninput: %q\nfirst: %+v\nsecond: %+v", line, j, j2)
+		}
+		// After one normalization the line must be a fixed point.
+		line3 := j2.MarshalLine()
+		if line3 != line2 {
+			t.Fatalf("marshaling not a fixed point:\nfirst:  %q\nsecond: %q", line2, line3)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package simulate
+
+import (
+	"reflect"
+	"testing"
+)
+
+func tinyConfig(seed int64) Config {
+	return Config{Seed: seed, Days: 5, NoisePerFatal: 1}
+}
+
+func TestRunEnsembleMatchesIndividualRuns(t *testing.T) {
+	seeds := SeedRange(1, 3)
+	camps, err := RunEnsemble(tinyConfig(0), seeds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camps) != len(seeds) {
+		t.Fatalf("got %d campaigns, want %d", len(camps), len(seeds))
+	}
+	for i, seed := range seeds {
+		solo, err := Run(tinyConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(camps[i].RAS.All(), solo.RAS.All()) {
+			t.Errorf("seed %d: ensemble RAS stream differs from solo run", seed)
+		}
+		if !reflect.DeepEqual(camps[i].Jobs.All(), solo.Jobs.All()) {
+			t.Errorf("seed %d: ensemble job log differs from solo run", seed)
+		}
+	}
+}
+
+func TestRunEnsembleSequentialEqualsParallel(t *testing.T) {
+	seeds := SeedRange(5, 4)
+	seq, err := RunEnsemble(tinyConfig(0), seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunEnsemble(tinyConfig(0), seeds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if !reflect.DeepEqual(seq[i].RAS.All(), par[i].RAS.All()) {
+			t.Errorf("seed %d: parallel ensemble diverges", seeds[i])
+		}
+	}
+}
+
+func TestRunEnsembleErrors(t *testing.T) {
+	if _, err := RunEnsemble(tinyConfig(0), nil, 2); err == nil {
+		t.Error("empty seed list: want error")
+	}
+	bad := Config{Days: 0}
+	if _, err := RunEnsemble(bad, SeedRange(1, 2), 2); err == nil {
+		t.Error("bad config: want error")
+	}
+}
+
+func TestSeedRange(t *testing.T) {
+	got := SeedRange(10, 3)
+	want := []int64{10, 11, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SeedRange = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,122 @@
+package repro
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestParallelMatchesSequential is the tentpole equivalence oracle: the
+// full analysis at Parallelism 1 (all fan-outs forced sequential) and
+// Parallelism 8 must produce deep-equal structured results and a
+// byte-identical rendered report for the same seed. Run it under -race
+// to check the pool itself (make race / scripts/ci.sh do).
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := QuickConfig(1)
+	cfg.Days = 30 // keep the -race run quick; shapes are unaffected
+
+	seqCfg := cfg
+	seqCfg.Parallelism = 1
+	parCfg := cfg
+	parCfg.Parallelism = 8
+
+	seqRep, err := Run(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRep, err := Run(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structured equivalence, stage by stage.
+	sa, pa := seqRep.Analysis(), parRep.Analysis()
+	if !reflect.DeepEqual(sa.Events, pa.Events) {
+		t.Errorf("filtered events diverge: %d vs %d", len(sa.Events), len(pa.Events))
+	}
+	if sa.FilterStats != pa.FilterStats {
+		t.Errorf("filter stats diverge: %+v vs %+v", sa.FilterStats, pa.FilterStats)
+	}
+	if !reflect.DeepEqual(sa.Independent, pa.Independent) {
+		t.Errorf("independent events diverge")
+	}
+	if !reflect.DeepEqual(sa.Interruptions, pa.Interruptions) {
+		t.Errorf("interruptions diverge: %d vs %d", len(sa.Interruptions), len(pa.Interruptions))
+	}
+	if !reflect.DeepEqual(sa.MidplaneCharacteristics(32), pa.MidplaneCharacteristics(32)) {
+		t.Errorf("midplane characteristics diverge")
+	}
+	if sa.MidplaneFits(5) != pa.MidplaneFits(5) {
+		t.Errorf("midplane fit census diverges: %+v vs %+v", sa.MidplaneFits(5), pa.MidplaneFits(5))
+	}
+	sir, serr := sa.InterruptionRates()
+	pir, perr := pa.InterruptionRates()
+	if (serr == nil) != (perr == nil) {
+		t.Fatalf("interruption rates errors diverge: %v vs %v", serr, perr)
+	}
+	if serr == nil && !reflect.DeepEqual(sir, pir) {
+		t.Errorf("interruption rates diverge")
+	}
+	if !reflect.DeepEqual(seqRep.Summary(), parRep.Summary()) {
+		t.Errorf("summaries diverge:\nseq: %+v\npar: %+v", seqRep.Summary(), parRep.Summary())
+	}
+
+	// Byte-identity oracle over every rendered artifact.
+	var seqOut, parOut bytes.Buffer
+	if err := seqRep.RenderAll(&seqOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := parRep.RenderAll(&parOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+		t.Errorf("rendered reports differ (%d vs %d bytes)", seqOut.Len(), parOut.Len())
+	}
+}
+
+// TestEnsembleDeterministic checks that the ensemble aggregation is
+// identical at any worker count and matches the single-seed runs.
+func TestEnsembleDeterministic(t *testing.T) {
+	cfg := QuickConfig(1)
+	cfg.Days = 10
+	cfg.Seeds = 3
+
+	seqCfg := cfg
+	seqCfg.Parallelism = 1
+	parCfg := cfg
+	parCfg.Parallelism = 8
+
+	seq, err := RunEnsemble(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunEnsemble(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.PerSeed, par.PerSeed) {
+		t.Errorf("per-seed summaries diverge across worker counts")
+	}
+	if !reflect.DeepEqual(seq.Stats, par.Stats) {
+		t.Errorf("ensemble stats diverge across worker counts")
+	}
+
+	// Member i must equal a plain Run at that seed.
+	solo := QuickConfig(2)
+	solo.Days = 10
+	rep, err := Run(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.PerSeed[1], rep.Summary()) {
+		t.Errorf("ensemble member diverges from solo run at same seed")
+	}
+
+	var buf bytes.Buffer
+	if err := seq.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty ensemble render")
+	}
+}

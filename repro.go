@@ -40,6 +40,15 @@ type Config struct {
 	// MatchTolerance is the job-end-to-event matching slack; zero means
 	// the default (5 minutes).
 	MatchTolerance time.Duration
+	// Parallelism bounds the worker count of every fan-out — the filter
+	// cascade shards, the per-midplane and per-cause fits, and ensemble
+	// campaigns (0 = GOMAXPROCS, 1 = sequential). For a fixed seed the
+	// report is byte-identical at every setting; see internal/parallel
+	// for the determinism contract.
+	Parallelism int
+	// Seeds is the number of campaigns RunEnsemble simulates, at seeds
+	// Seed, Seed+1, ..., Seed+Seeds-1 (0 or 1 means a single campaign).
+	Seeds int
 }
 
 // DefaultConfig returns the full-scale, paper-equivalent configuration.
@@ -72,12 +81,7 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Days <= 0 {
 		return nil, fmt.Errorf("repro: non-positive Days %d", cfg.Days)
 	}
-	simCfg := simulate.Config{
-		Seed:          cfg.Seed,
-		Days:          cfg.Days,
-		NoisePerFatal: cfg.NoisePerFatal,
-	}
-	camp, err := simulate.Run(simCfg)
+	camp, err := simulate.Run(simConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -104,11 +108,20 @@ func Load(cfg Config, rasLog, jobLog io.Reader) (*Report, error) {
 	return analyzeStores(cfg, raslog.NewStore(recs), joblog.NewLog(jobs))
 }
 
+func simConfig(cfg Config) simulate.Config {
+	return simulate.Config{
+		Seed:          cfg.Seed,
+		Days:          cfg.Days,
+		NoisePerFatal: cfg.NoisePerFatal,
+	}
+}
+
 func analyzeStores(cfg Config, ras *raslog.Store, jobs *joblog.Log) (*Report, error) {
 	acfg := core.DefaultConfig()
 	if cfg.MatchTolerance > 0 {
 		acfg.MatchTolerance = cfg.MatchTolerance
 	}
+	acfg.Parallelism = cfg.Parallelism
 	a, err := core.Analyze(acfg, ras, jobs)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate: build, vet, full tests, race-detector pass, and a short fuzz
+# smoke of the line parsers. Mirrors `make check` plus fuzzing; keep the
+# two in sync.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz smoke (${FUZZTIME:=10s} per target)"
+go test ./internal/raslog -fuzz FuzzParseRecord -fuzztime "$FUZZTIME"
+go test ./internal/joblog -fuzz FuzzParseJob -fuzztime "$FUZZTIME"
+
+echo "CI OK"
