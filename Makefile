@@ -1,10 +1,12 @@
 # Tier-1 gate: `make check` is what CI runs on every change — build,
-# vet, tests, and the race-detector pass that guards the parallel
-# analysis engine (see internal/parallel and TestParallelMatchesSequential).
+# vet, tests, the race-detector pass that guards the parallel
+# analysis engine (see internal/parallel and TestParallelMatchesSequential),
+# and the bgplint determinism analyzers (see internal/lint and DESIGN.md
+# "Determinism invariants").
 
 GO ?= go
 
-.PHONY: all build vet test race check fuzz bench golden
+.PHONY: all build vet test race lint check fuzz bench golden
 
 all: check
 
@@ -22,7 +24,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet test race
+# Determinism & parallel-safety analyzers (detrand, maporder, seedflow,
+# sharedfold). Also runnable through the vet driver, which additionally
+# covers _test.go files: go vet -vettool=$(PWD)/bin/bgplint ./...
+lint:
+	$(GO) build -o bin/bgplint ./cmd/bgplint
+	./bin/bgplint ./...
+
+check: build vet lint test race
 
 # Short fuzz smoke of the two line parsers (the checked-in corpora and
 # seed inputs always run as part of `test`; this explores further).

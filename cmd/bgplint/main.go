@@ -1,0 +1,97 @@
+// Command bgplint is the multichecker for this repo's determinism and
+// parallel-safety invariants: the detrand, maporder, seedflow and
+// sharedfold analyzers (see internal/lint and DESIGN.md "Determinism
+// invariants").
+//
+// Standalone:
+//
+//	bgplint ./...
+//
+// loads the named packages (compiling dependency export data through
+// the ordinary build cache) and prints one line per finding,
+// vet-style; exit status 2 means findings, 1 means a tool failure.
+// Test files are not scanned in this mode.
+//
+// As a vet tool:
+//
+//	go build -o bin/bgplint ./cmd/bgplint
+//	go vet -vettool=$(pwd)/bin/bgplint ./...
+//
+// runs the same analyzers under the go command's vet protocol, which
+// also covers test packages and caches results per package.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("bgplint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	versionFlag := fs.String("V", "", "print version and exit (vet protocol)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit (vet protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bgplint [packages]\n       go vet -vettool=$(which bgplint) [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	if *versionFlag != "" {
+		if err := driver.PrintVersion(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if *flagsFlag {
+		if err := driver.PrintFlags(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers()
+
+	// Vet protocol: a single *.cfg argument names a unit of work.
+	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return driver.RunVetUnit(rest[0], analyzers, os.Stderr)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgplint:", err)
+		return 1
+	}
+	findings, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgplint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

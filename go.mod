@@ -1,3 +1,12 @@
 module repro
 
 go 1.22
+
+// The bgplint analyzers (internal/lint) are written against the
+// golang.org/x/tools/go/analysis API. The intended pin is
+// golang.org/x/tools v0.24.0, but this module builds in an offline
+// environment with no module proxy, so internal/lint/analysis vendors
+// the needed source-compatible subset (Analyzer/Pass/Diagnostic/
+// SuggestedFix + an analysistest-style harness) instead of requiring
+// it here. If network access becomes available, replace the vendored
+// subset with the real dependency and this note with a require line.

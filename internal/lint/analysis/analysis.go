@@ -1,0 +1,86 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis, vendored here because this module
+// builds in hermetic environments with no module proxy. It provides
+// exactly what the bgplint analyzers need: an Analyzer descriptor, a
+// per-package Pass with full type information, and Diagnostics that can
+// carry mechanical SuggestedFixes.
+//
+// The subset is deliberately source-compatible with the upstream
+// package for the features it implements, so the analyzers under
+// internal/lint can be ported to the real framework by changing only
+// their import path once golang.org/x/tools can be pinned in go.mod
+// (see the note in go.mod).
+//
+// Facts, result dependencies between analyzers (Requires/ResultOf),
+// and flags are intentionally omitted: the four bgplint analyzers are
+// all intraprocedural and fact-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must
+	// be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer documentation: a one-line summary, a blank
+	// line, then details.
+	Doc string
+
+	// Run applies the analyzer to a single package. It returns an
+	// analyzer-specific result (unused by bgplint's analyzers, kept
+	// for upstream compatibility) or an error.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run over one package: the syntax trees,
+// the type-checked package, and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic. The driver supplies it.
+	Report func(Diagnostic)
+}
+
+// Reportf emits a diagnostic at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: end of the flagged region
+	Category string    // optional: sub-category within the analyzer
+	Message  string
+
+	// SuggestedFixes are mechanical rewrites that resolve the
+	// diagnostic. Each fix's edits must not overlap.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained rewrite.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+// Pos == End means a pure insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

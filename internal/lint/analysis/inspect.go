@@ -1,0 +1,41 @@
+package analysis
+
+import "go/ast"
+
+// Preorder calls fn for every node in every file, in depth-first
+// source order. It is the moral equivalent of the upstream inspect
+// analyzer's Preorder, without the shared-inspector plumbing (bgplint
+// runs few analyzers over small packages; rebuilding the traversal per
+// analyzer is cheap and keeps the framework dependency-free).
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// WithStack calls fn for every node with the stack of enclosing nodes,
+// outermost (the *ast.File) first; the node itself is not on the
+// stack. The callback's return value decides whether children are
+// visited.
+func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				// Pop event: only pushed (descended-into) nodes get one.
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

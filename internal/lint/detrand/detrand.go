@@ -1,0 +1,97 @@
+// Package detrand defines the bgplint analyzer that bans ambient
+// nondeterminism — the process-global math/rand source and the wall
+// clock — inside the simulation core.
+//
+// The paper's 12 observations are reproducible only because every
+// stage of the pipeline is a pure function of Config.Seed. The
+// simulation packages therefore thread an explicit *rand.Rand (see
+// internal/sched/engine.go, which builds its rng from cfg.Seed) and
+// model time as simulated timestamps. A single rand.Intn or time.Now
+// smuggled into those packages silently breaks seed-reproducibility
+// and the byte-identical-output contract of the parallel engine, and
+// no test reliably catches it. detrand makes it a lint error instead.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand and wall-clock calls in the seeded simulation packages\n\n" +
+		"Within internal/{simulate,sched,faultgen,workload,core,filter,checkpoint,stats},\n" +
+		"randomness must flow through an explicitly threaded *rand.Rand built from\n" +
+		"Config.Seed, and time must be simulated, never read from the host clock.\n" +
+		"Flags calls to math/rand (and math/rand/v2) package-level functions that\n" +
+		"draw from the global source, and calls to time.Now/Since/Until.",
+	Run: run,
+}
+
+// restricted matches the import paths of the packages that must stay
+// seed-deterministic. Matching is by path suffix segments so the
+// analyzer also fires on its own test fixtures.
+var restricted = regexp.MustCompile(`(^|/)internal/(simulate|sched|faultgen|workload|core|filter|checkpoint|stats)(/|$)`)
+
+// allowedRandFuncs are the math/rand package-level functions that do
+// not touch the global source: they construct new generators, whose
+// seed provenance the seedflow analyzer polices separately.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// wallClockFuncs are the time package functions that read the host
+// clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !restricted.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		// Tests may use the clock (timeouts, benchmarks) and ad-hoc
+		// randomness; the determinism contract covers shipped code.
+		if lintutil.IsTestFile(pass.Fset, call.Pos()) {
+			return
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // methods (e.g. on a threaded *rand.Rand) are the sanctioned path
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if !allowedRandFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"call to %s.%s uses the process-global random source; thread a *rand.Rand derived from Config.Seed instead (detrand)",
+					fn.Pkg().Name(), fn.Name())
+			}
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"call to time.%s reads the wall clock inside a seeded simulation package; derive times from the simulated clock instead (detrand)",
+					fn.Name())
+			}
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detrand"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, "testdata", detrand.Analyzer,
+		"internal/simulate", // restricted: fixture carries want expectations
+		"plainpkg",          // unrestricted: same patterns, zero diagnostics
+	)
+}

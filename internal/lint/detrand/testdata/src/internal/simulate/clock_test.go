@@ -1,0 +1,12 @@
+package simulate
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Test files are exempt: timeouts and ad-hoc randomness are fine in
+// tests, the determinism contract covers shipped code.
+func elapsedForBenchmark() (time.Time, int) {
+	return time.Now(), rand.Int()
+}

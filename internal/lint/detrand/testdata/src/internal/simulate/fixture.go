@@ -1,0 +1,43 @@
+// Fixture for the detrand analyzer: this package path matches the
+// restricted set (internal/simulate), so ambient nondeterminism is a
+// diagnostic.
+package simulate
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func badGlobalRand(n int) int {
+	return rand.Intn(n) // want `process-global random source`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global random source`
+}
+
+func badGlobalRandV2() uint64 {
+	return randv2.Uint64() // want `process-global random source`
+}
+
+func badWallClock() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock`
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `reads the wall clock`
+}
+
+func goodThreadedRng(rng *rand.Rand, n int) int {
+	return rng.Intn(n) // ok: methods on a threaded *rand.Rand
+}
+
+func goodConstructors(seed int64) *rand.Rand {
+	// Constructors are allowed here; seedflow polices their arguments.
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodSimulatedTime(epoch time.Time, offset time.Duration) time.Time {
+	return epoch.Add(offset) // ok: simulated clock arithmetic
+}

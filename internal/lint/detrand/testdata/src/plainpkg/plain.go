@@ -1,0 +1,16 @@
+// Fixture: a package outside the restricted set; detrand stays silent
+// even for the patterns it would flag inside the simulation core.
+package plainpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

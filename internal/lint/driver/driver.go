@@ -1,0 +1,200 @@
+// Package driver loads type-checked packages for bgplint without
+// golang.org/x/tools/go/packages (unavailable offline; see the note in
+// go.mod). It shells out to `go list -export -deps -json`, which
+// compiles dependencies into the build cache and reports the export
+// data file for each, then parses only the target packages' sources
+// and type-checks them against that export data — the same strategy
+// go/packages uses in LoadTypes mode.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Load lists patterns (e.g. "./...") in dir, compiles export data for
+// the dependency graph, and type-checks every non-standard-library
+// target package from source. Test files are not loaded; run bgplint
+// through `go vet -vettool` to cover test packages as well.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	index := make(map[string]*listPackage)
+	var roots []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		lp := p
+		index[lp.ImportPath] = &lp
+		if !lp.DepOnly && !lp.Standard && !strings.HasSuffix(lp.ImportPath, ".test") {
+			roots = append(roots, &lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, root := range roots {
+		if root.Error != nil {
+			return nil, fmt.Errorf("%s: %s", root.ImportPath, root.Error.Err)
+		}
+		if len(root.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, root, index)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one target package against the export
+// data of its dependencies.
+func check(fset *token.FileSet, root *listPackage, index map[string]*listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range root.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(root.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := root.ImportMap[path]; ok {
+			path = mapped
+		}
+		dep, ok := index[path]
+		if !ok || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (imported by %s)", path, root.ImportPath)
+		}
+		return os.Open(dep.Export)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(root.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: typecheck: %v", root.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: root.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// A Finding is one diagnostic with its analyzer attached, position-
+// resolved for printing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position (file, line, column) then analyzer — a stable
+// order regardless of package load order.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report: func(d analysis.Diagnostic) {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Pos:      pkg.Fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	less := func(a, b Finding) bool {
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	}
+	// Insertion sort: finding counts are tiny and this keeps the
+	// driver free of sort-helper indirection.
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && less(fs[j], fs[j-1]); j-- {
+			fs[j-1], fs[j] = fs[j], fs[j-1]
+		}
+	}
+}

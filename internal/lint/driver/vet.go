@@ -1,0 +1,164 @@
+// Vet-tool protocol support: `go vet -vettool=bgplint` invokes the
+// tool once per package with a JSON config file describing sources and
+// dependency export data, after probing it with -V=full (cache key)
+// and -flags (supported flags). This file implements that protocol the
+// way x/tools' go/analysis/unitchecker does, minus cross-package
+// facts, which the bgplint analyzers do not use.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint/analysis"
+)
+
+// vetConfig mirrors the fields of unitchecker.Config the go command
+// writes; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements -V=full: a self-describing line the go
+// command uses as the vet result cache key, so editing bgplint
+// invalidates cached vet results.
+func PrintVersion(w io.Writer) error {
+	progname := filepath.Base(os.Args[0])
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s version devel buildID=%02x\n", progname, h.Sum(nil))
+	return err
+}
+
+// PrintFlags implements -flags: the JSON list of tool flags the go
+// command may forward. bgplint keeps none beyond the protocol ones.
+func PrintFlags(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "[]")
+	return err
+}
+
+// RunVetUnit executes one vet unit of work: parse the cfg file,
+// type-check the package against the export data the go command
+// already built, run the analyzers, and report diagnostics. The
+// returned exit code follows unitchecker: 0 clean, 1 tool error, 2
+// diagnostics found.
+func RunVetUnit(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "bgplint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command expects the facts file to exist even though
+	// bgplint's analyzers are fact-free.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "bgplint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+				exit = 2
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(stderr, "bgplint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+	}
+	return exit
+}

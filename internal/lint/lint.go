@@ -1,0 +1,23 @@
+// Package lint is the registry of bgplint's determinism and
+// parallel-safety analyzers. cmd/bgplint runs them all; see each
+// analyzer package for the invariant it encodes and DESIGN.md
+// ("Determinism invariants") for why the invariants exist.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/detrand"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/seedflow"
+	"repro/internal/lint/sharedfold"
+)
+
+// Analyzers returns the full bgplint suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		maporder.Analyzer,
+		seedflow.Analyzer,
+		sharedfold.Analyzer,
+	}
+}

@@ -1,0 +1,332 @@
+// Package linttest is a minimal analogue of
+// golang.org/x/tools/go/analysis/analysistest for the vendored
+// framework in internal/lint/analysis. Fixtures live in a GOPATH-style
+// tree (testdata/src/<pkgpath>/*.go); expectations are `// want "rx"`
+// comments on the line a diagnostic must land on; suggested fixes are
+// checked by applying every fix and comparing against a gofmt-ed
+// <file>.golden sibling.
+//
+// Fixture packages may import each other (resolved inside testdata/src
+// first) and the standard library (resolved by compiling stdlib from
+// GOROOT source, which needs no network or pre-built export data).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run loads each fixture package under dir/src and checks the
+// analyzer's diagnostics against the // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, path := range pkgpaths {
+		diags, pkg, err := l.analyze(a, path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		checkWants(t, l.fset, pkg, diags)
+	}
+}
+
+// RunWithSuggestedFixes is Run plus fix application: for every fixture
+// file with a .golden sibling, all suggested fixes are applied, the
+// result gofmt-ed, and compared byte-for-byte against the (gofmt-ed)
+// golden.
+func RunWithSuggestedFixes(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, path := range pkgpaths {
+		diags, pkg, err := l.analyze(a, path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		checkWants(t, l.fset, pkg, diags)
+		applyFixes(t, l.fset, pkg, diags)
+	}
+}
+
+type loader struct {
+	root string // testdata dir; fixtures under root/src
+	fset *token.FileSet
+	pkgs map[string]*fixturePkg
+	std  types.ImporterFrom
+}
+
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root: dir,
+		fset: fset,
+		pkgs: make(map[string]*fixturePkg),
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+func (l *loader) analyze(a *analysis.Analyzer, path string) ([]analysis.Diagnostic, *fixturePkg, error) {
+	fp, err := l.load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      l.fset,
+		Files:     fp.files,
+		Pkg:       fp.pkg,
+		TypesInfo: fp.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+	}
+	return diags, fp, nil
+}
+
+// Import implements types.Importer: fixture packages shadow the
+// standard library, which is compiled from source as a fallback.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, "src", path)); err == nil {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp, fp.err
+	}
+	fp := &fixturePkg{}
+	l.pkgs[path] = fp // pre-register: fixture import cycles fail in the checker, not here
+
+	dir := filepath.Join(l.root, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fp.err = err
+		return fp, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			fp.err = err
+			return fp, err
+		}
+		fp.files = append(fp.files, f)
+	}
+	if len(fp.files) == 0 {
+		fp.err = fmt.Errorf("no Go files in %s", dir)
+		return fp, fp.err
+	}
+
+	fp.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	fp.pkg, fp.err = conf.Check(path, l.fset, fp.files, fp.info)
+	return fp, fp.err
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// checkWants matches diagnostics against // want expectations, both
+// directions.
+func checkWants(t *testing.T, fset *token.FileSet, fp *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	type want struct {
+		file string
+		line int
+		rx   *regexp.Regexp
+		used bool
+	}
+	var wants []*want
+
+	for _, f := range fp.files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, q := range splitQuoted(t, m[1]) {
+					rx, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", filename, line, q, err)
+					}
+					wants = append(wants, &want{file: filename, line: line, rx: rx})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: `"a" "b"`.
+func splitQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("want expectation must be quoted strings, got %q", s)
+		}
+		prefix, rest, err := nextQuoted(s)
+		if err != nil {
+			t.Fatalf("bad want expectation %q: %v", s, err)
+		}
+		out = append(out, prefix)
+		s = strings.TrimSpace(rest)
+	}
+	return out
+}
+
+func nextQuoted(s string) (val, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if s[i] == quote {
+			val, err := strconv.Unquote(s[:i+1])
+			return val, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote")
+}
+
+// applyFixes applies every suggested fix and compares each file that
+// has a .golden sibling.
+func applyFixes(t *testing.T, fset *token.FileSet, fp *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				tf := fset.File(te.Pos)
+				if tf == nil {
+					t.Fatalf("fix edit with invalid pos")
+				}
+				perFile[tf.Name()] = append(perFile[tf.Name()], edit{
+					start: tf.Offset(te.Pos),
+					end:   tf.Offset(te.End),
+					text:  te.NewText,
+				})
+			}
+		}
+	}
+
+	for _, f := range fp.files {
+		filename := fset.Position(f.Pos()).Filename
+		goldenPath := filename + ".golden"
+		golden, err := os.ReadFile(goldenPath)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edits := perFile[filename]
+		// Ascending by start; zero-length insertions before
+		// replacements at the same offset, so a prelude inserted at a
+		// statement lands before the statement's own rewrite.
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return (edits[i].start == edits[i].end) && (edits[j].start != edits[j].end)
+		})
+		var out []byte
+		prev := 0
+		for _, e := range edits {
+			if e.start < prev {
+				t.Fatalf("%s: overlapping suggested-fix edits", filename)
+			}
+			out = append(out, src[prev:e.start]...)
+			out = append(out, e.text...)
+			prev = e.end
+		}
+		out = append(out, src[prev:]...)
+
+		gotFmt, err := format.Source(out)
+		if err != nil {
+			t.Errorf("%s: fixed source does not parse: %v\n----\n%s", filename, err, out)
+			continue
+		}
+		wantFmt, err := format.Source(golden)
+		if err != nil {
+			t.Fatalf("%s: golden does not parse: %v", goldenPath, err)
+		}
+		if string(gotFmt) != string(wantFmt) {
+			t.Errorf("%s: suggested fixes do not produce golden.\n--- got ---\n%s\n--- want ---\n%s", filename, gotFmt, wantFmt)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package lintutil holds the small type- and syntax-query helpers the
+// bgplint analyzers share.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the function or method a call expression invokes, or
+// nil when the callee is not a declared function (a func-typed
+// variable, a type conversion, a builtin).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation: f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr: // f[T1, T2](...)
+		if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func PkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// IsFloat reports whether t's core type is a floating-point scalar.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// UsesObject reports whether any identifier under n resolves to obj.
+func UsesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// RangedMap reports whether rs ranges over a value of map type, and if
+// so returns that map type.
+func RangedMap(info *types.Info, rs *ast.RangeStmt) (*types.Map, bool) {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	return m, ok
+}

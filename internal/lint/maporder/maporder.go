@@ -1,0 +1,351 @@
+// Package maporder defines the bgplint analyzer that flags
+// order-sensitive folds over Go's randomized map iteration.
+//
+// Go randomizes map iteration order per run. Any loop that ranges over
+// a map and (a) appends the elements to a slice, (b) writes rows or
+// text to an output/report builder, or (c) accumulates floating-point
+// values, bakes that random order into its result: table rows permute
+// between runs, golden files flake, and float sums drift in the last
+// ulp because addition is not associative. That is precisely the class
+// of silent nondeterminism the byte-identical report contract (see
+// cmd/bgpreport's golden test) cannot tolerate.
+//
+// The sanctioned idioms are: collect keys, sort, then iterate; or
+// append first and sort the result afterwards. maporder recognizes the
+// second form (a sort.* or slices.* call on the accumulated slice
+// after the loop) and stays silent. Where the rewrite is mechanical —
+// a string-keyed map ranged with plain identifiers — the diagnostic
+// carries a suggested fix that hoists the keys into a sorted slice
+// named sortedKeys (the fix assumes "sort" is imported and that the
+// name sortedKeys is free in the enclosing scope).
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive folds over randomized map iteration\n\n" +
+		"Ranging over a map while appending to a slice, emitting table rows or\n" +
+		"text, or accumulating floats makes the result depend on Go's randomized\n" +
+		"map order. Sort the keys first, or sort the accumulated slice afterwards.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		m, ok := lintutil.RangedMap(pass.TypesInfo, rs)
+		if !ok {
+			return true
+		}
+		checkMapRange(pass, rs, m, enclosingFuncBody(stack))
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// enclosing the node whose stack is given, or nil at package level.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, m *types.Map, funcBody *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, m, funcBody, n)
+		case *ast.CallExpr:
+			checkEmit(pass, rs, n)
+		}
+		return true
+	})
+}
+
+// checkAssign flags append-folds and float-folds into variables that
+// outlive the loop.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, m *types.Map, funcBody *ast.BlockStmt, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	obj := rootObject(info, as.Lhs[0])
+	if obj == nil || declaredWithin(obj, rs) {
+		return
+	}
+
+	// x = append(x, ...): order of the appended elements is the map's
+	// random iteration order.
+	if as.Tok == token.ASSIGN {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+			if len(call.Args) > 0 && rootObject(info, call.Args[0]) == obj {
+				if sortedAfter(info, funcBody, rs, obj) {
+					return
+				}
+				d := analysis.Diagnostic{
+					Pos: as.Pos(),
+					End: as.End(),
+					Message: fmt.Sprintf(
+						"append to %s inside map iteration bakes in random map order; sort the keys first or sort %s after the loop (maporder)",
+						obj.Name(), obj.Name()),
+				}
+				if fix, ok := sortedKeysFix(pass, rs, m); ok {
+					d.SuggestedFixes = []analysis.SuggestedFix{fix}
+				}
+				pass.Report(d)
+				return
+			}
+		}
+	}
+
+	// Float accumulation: += -= *= /= (and x = x + e) reorder
+	// non-associative float ops across runs.
+	if _, isIndex := ast.Unparen(as.Lhs[0]).(*ast.IndexExpr); isIndex {
+		return // per-key writes (m2[k] += v) are order-independent
+	}
+	tv, ok := info.Types[as.Lhs[0]]
+	if !ok || tv.Type == nil || !lintutil.IsFloat(tv.Type) {
+		return
+	}
+	fold := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		fold = true
+	case token.ASSIGN:
+		if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok {
+			fold = lintutil.UsesObject(info, bin, obj)
+		}
+	}
+	if fold {
+		d := analysis.Diagnostic{
+			Pos: as.Pos(),
+			End: as.End(),
+			Message: fmt.Sprintf(
+				"floating-point accumulation into %s inside map iteration is order-sensitive (float addition is not associative); iterate sorted keys (maporder)",
+				obj.Name()),
+		}
+		if fix, ok := sortedKeysFix(pass, rs, m); ok {
+			d.SuggestedFixes = []analysis.SuggestedFix{fix}
+		}
+		pass.Report(d)
+	}
+}
+
+// checkEmit flags row/text emission in map order: report-builder
+// AddRow, strings.Builder/bytes.Buffer writes, and fmt.Fprint* calls.
+func checkEmit(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := lintutil.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	// fmt.Fprint* / fmt.Print* stream output in iteration order.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside map iteration emits output in random map order; iterate sorted keys (maporder)", fn.Name())
+		}
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvObj := rootObject(info, sel.X)
+	if recvObj == nil || declaredWithin(recvObj, rs) {
+		return
+	}
+	switch {
+	case fn.Name() == "AddRow":
+		// The report.Table builder (and anything shaped like it).
+		pass.Reportf(call.Pos(),
+			"%s.AddRow inside map iteration emits table rows in random map order; iterate sorted keys (maporder)", recvObj.Name())
+	case isTextSink(recvObj.Type()) &&
+		(fn.Name() == "Write" || fn.Name() == "WriteString" || fn.Name() == "WriteByte" || fn.Name() == "WriteRune"):
+		pass.Reportf(call.Pos(),
+			"%s.%s inside map iteration emits text in random map order; iterate sorted keys (maporder)", recvObj.Name(), fn.Name())
+	}
+}
+
+// isTextSink reports whether t is strings.Builder or bytes.Buffer
+// (possibly behind a pointer).
+func isTextSink(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// rootObject resolves the base identifier of an lvalue-ish expression
+// (x, x.f, x[i], *x, x.f[i].g ...) to its object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil // receiver produced by a call: no stable object
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement (loop variables and body-locals reset every
+// iteration and carry no cross-iteration order).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether, after the range loop, the enclosing
+// function sorts the accumulated slice: a sort.* or slices.* call
+// mentioning obj, positioned after the loop. This blesses the
+// append-then-sort idiom used throughout the tree.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found || n == nil || n.End() <= rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.Callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lintutil.UsesObject(info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedKeysFix builds the mechanical sorted-keys rewrite when it is
+// safe and simple: the map expression is a call-free operand (so
+// re-evaluating it is sound), the key is a plain identifier, and the
+// key type is string (so sort.Strings suffices). The rewrite is:
+//
+//	sortedKeys := make([]string, 0, len(M))
+//	for K := range M {
+//		sortedKeys = append(sortedKeys, K)
+//	}
+//	sort.Strings(sortedKeys)
+//	for _, K := range sortedKeys {
+//		V := M[K]   // only when the loop binds a value
+//		...
+//	}
+func sortedKeysFix(pass *analysis.Pass, rs *ast.RangeStmt, m *types.Map) (analysis.SuggestedFix, bool) {
+	basic, ok := m.Key().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.String {
+		return analysis.SuggestedFix{}, false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Tok != token.DEFINE {
+		return analysis.SuggestedFix{}, false
+	}
+	if hasCall(rs.X) {
+		return analysis.SuggestedFix{}, false
+	}
+	mapSrc, err := exprString(pass.Fset, rs.X)
+	if err != nil {
+		return analysis.SuggestedFix{}, false
+	}
+
+	prelude := fmt.Sprintf(
+		"sortedKeys := make([]string, 0, len(%s))\nfor %s := range %s {\n\tsortedKeys = append(sortedKeys, %s)\n}\nsort.Strings(sortedKeys)\n",
+		mapSrc, key.Name, mapSrc, key.Name)
+	edits := []analysis.TextEdit{
+		{Pos: rs.For, End: rs.For, NewText: []byte(prelude)},
+		{Pos: rs.For, End: rs.Body.Lbrace, NewText: []byte(fmt.Sprintf("for _, %s := range sortedKeys ", key.Name))},
+	}
+	if val, ok := rs.Value.(*ast.Ident); ok && val.Name != "_" {
+		edits = append(edits, analysis.TextEdit{
+			Pos:     rs.Body.Lbrace + 1,
+			End:     rs.Body.Lbrace + 1,
+			NewText: []byte(fmt.Sprintf("\n%s := %s[%s]", val.Name, mapSrc, key.Name)),
+		})
+	}
+	return analysis.SuggestedFix{
+		Message:   "iterate over sorted keys (requires the sort import; uses the name sortedKeys)",
+		TextEdits: edits,
+	}, true
+}
+
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) (string, error) {
+	var buf bytes.Buffer
+	err := printer.Fprint(&buf, fset, e)
+	return buf.String(), err
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, "testdata", maporder.Analyzer, "mapordertest")
+}
+
+func TestMaporderSuggestedFixes(t *testing.T) {
+	linttest.RunWithSuggestedFixes(t, "testdata", maporder.Analyzer, "maporderfix")
+}

@@ -1,0 +1,29 @@
+// Fixture for maporder's suggested fix: applying every fix must yield
+// fix.go.golden (modulo gofmt).
+package maporderfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+func sorted(xs []string) []string {
+	sort.Strings(xs)
+	return xs
+}
+
+func rows(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v)) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+func total(m map[string]float64) float64 {
+	sum := 0.0
+	for k := range m {
+		sum += m[k] // want `floating-point accumulation into sum`
+	}
+	return sum
+}

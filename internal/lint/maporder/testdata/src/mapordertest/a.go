@@ -1,0 +1,115 @@
+// Fixture for the maporder analyzer: order-sensitive folds over map
+// iteration are diagnostics; the sorted idioms are not.
+package mapordertest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+type table struct{}
+
+func (t *table) AddRow(cells ...interface{}) {}
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration`
+	}
+	return out
+}
+
+func appendSortedAfter(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // ok: sorted right below
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendSortSliceAfter(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // ok: sort.Slice below mentions out
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func floatFold(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+func floatFoldPlainAssign(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++ // ok: integer counting is order-independent
+		}
+	}
+	return n
+}
+
+func perKeyWrite(m map[string]float64, total float64) {
+	for k := range m {
+		m[k] /= total // ok: per-key write into the ranged map
+	}
+}
+
+func rowsInMapOrder(t *table, m map[string]int) {
+	for k, v := range m {
+		t.AddRow(k, v) // want `AddRow inside map iteration`
+	}
+}
+
+func builderInMapOrder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `emits text in random map order`
+	}
+	return b.String()
+}
+
+func fprintInMapOrder(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want `fmt\.Fprintf inside map iteration`
+	}
+}
+
+func searchIsFine(m map[string]int, want int) string {
+	for k, v := range m {
+		if v == want {
+			return k // ok: a search, nothing accumulates
+		}
+	}
+	return ""
+}
+
+func sliceRangeIsFine(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x // ok: slices iterate in order
+	}
+	return sum
+}
+
+func sortValuesInPlace(m map[string][]int) {
+	for _, vs := range m {
+		sort.Ints(vs) // ok: per-value mutation, no cross-iteration state
+	}
+}

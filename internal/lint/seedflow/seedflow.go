@@ -1,0 +1,123 @@
+// Package seedflow defines the bgplint analyzer that polices seed
+// provenance: every random source in the pipeline must be derived from
+// a Config.Seed-style value, so that one seed determines the whole
+// campaign.
+//
+// The repo's discipline (internal/sched/engine.go builds its rng as
+// rand.New(rand.NewSource(cfg.Seed)); faultgen, workload and
+// checkpoint thread seeds the same way) means re-running with the same
+// Config reproduces every draw. A rand.NewSource(time.Now().UnixNano())
+// — the canonical Go idiom everywhere else — or a bare magic-number
+// seed in shipped code silently severs that chain. seedflow accepts an
+// argument that mentions a seed-named identifier or field (seed,
+// Seed, baseSeed, cfg.Seed, deriveSeed(...)), and accepts literal
+// seeds in _test.go files, where pinned constants are the point.
+package seedflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "flag random sources whose seed is not derived from a Config.Seed-style value\n\n" +
+		"rand.NewSource (and the math/rand/v2 constructors) must be fed a value\n" +
+		"traceable to a configuration seed — an identifier or field whose name\n" +
+		"ends in \"seed\"/\"Seed\", or a derivation thereof. Literal seeds are\n" +
+		"allowed only in _test.go files.",
+	Run: run,
+}
+
+// sourceCtors are the constructors whose argument is a seed:
+// math/rand.NewSource(int64) and the math/rand/v2 generators.
+var sourceCtors = map[string]map[string]bool{
+	"math/rand":    {"NewSource": true},
+	"math/rand/v2": {"NewPCG": true, "NewChaCha8": true},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		ctors, ok := sourceCtors[fn.Pkg().Path()]
+		if !ok || !ctors[fn.Name()] {
+			return
+		}
+		for _, arg := range call.Args {
+			if seedDerived(arg) {
+				return
+			}
+		}
+		if allLiterals(call.Args) && lintutil.IsTestFile(pass.Fset, call.Pos()) {
+			return // pinned test seeds are the point of seeding
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s argument is not derived from a Config.Seed-style value; thread the campaign seed (or a deriveSeed(...) of it) so one seed reproduces the whole run (seedflow)",
+			fn.Pkg().Name(), fn.Name())
+	})
+	return nil, nil
+}
+
+// seedDerived reports whether the expression mentions a seed-named
+// identifier, field, or function: seed, Seed, cfg.Seed, baseSeed,
+// deriveSeed(x), SeedForShard(i)... The check is syntactic taint — it
+// asks "did a seed flow in here", not "is the arithmetic sound".
+func seedDerived(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			lower := strings.ToLower(id.Name)
+			if lower == "seed" || strings.HasSuffix(lower, "seed") || strings.Contains(lower, "seed") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// allLiterals reports whether every argument is built purely from
+// literals (42, uint64(7), [32]byte{...}), with no variables.
+func allLiterals(args []ast.Expr) bool {
+	for _, a := range args {
+		literal := true
+		ast.Inspect(a, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				// Type names in conversions are fine; anything
+				// lower-level would need type info, so accept only
+				// universe-scope type-ish names and digits.
+				if !isTypeName(n.Name) {
+					literal = false
+				}
+			case *ast.BasicLit, nil:
+			case *ast.CallExpr, *ast.CompositeLit, *ast.UnaryExpr, *ast.BinaryExpr, *ast.ParenExpr, *ast.ArrayType:
+			default:
+				_ = n
+			}
+			return literal
+		})
+		if !literal {
+			return false
+		}
+	}
+	return true
+}
+
+var typeNames = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"byte": true, "rune": true, "uintptr": true,
+}
+
+func isTypeName(s string) bool { return typeNames[s] }

@@ -1,0 +1,47 @@
+// Fixture for the seedflow analyzer: every random source must trace
+// back to a Config.Seed-style value.
+package seedflowtest
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+type Config struct{ Seed int64 }
+
+func goodConfigSeed(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+func goodDerived(cfg Config, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(cfg.Seed, shard)))
+}
+
+func goodLocalSeedVar(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 1))
+}
+
+func goodV2(cfg Config) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(uint64(cfg.Seed), 0))
+}
+
+func deriveSeed(seed int64, shard int) int64 {
+	return seed*1000003 + int64(shard)
+}
+
+func badWallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `not derived from a Config\.Seed-style value`
+}
+
+func badMagicLiteral() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `not derived from a Config\.Seed-style value`
+}
+
+func badOpaqueVar(x int64) *rand.Rand {
+	return rand.New(rand.NewSource(x)) // want `not derived from a Config\.Seed-style value`
+}
+
+func badV2Literal() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2)) // want `not derived from a Config\.Seed-style value`
+}

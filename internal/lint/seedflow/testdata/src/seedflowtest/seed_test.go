@@ -1,0 +1,13 @@
+package seedflowtest
+
+import "math/rand"
+
+// Literal seeds in _test.go files are the sanctioned way to pin a
+// campaign: no diagnostics here.
+func pinnedCampaign() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func pinnedConverted() *rand.Rand {
+	return rand.New(rand.NewSource(int64(7)))
+}

@@ -1,0 +1,252 @@
+// Package sharedfold defines the bgplint analyzer that guards the
+// parallel engine's determinism contract at its call sites.
+//
+// internal/parallel promises byte-identical results at any worker
+// count because every task writes only its own output slots and the
+// pool merges them in index order. Two shapes of task exist, with two
+// contracts:
+//
+//   - ForEach/Map run ONE closure once per index, concurrently. Any
+//     write to captured state is shared between iterations: it races
+//     and makes output scheduling-dependent. Only writes through
+//     index-keyed slice/array slots (results[i] = ...) and the
+//     closure's return value are safe.
+//
+//   - Do runs N DISTINCT closures once each. Its documented contract
+//     is "each task must write only its own outputs": a closure may
+//     write captured variables, but no piece of state may be written
+//     by two different task closures. Overlap is checked at struct
+//     field-path granularity (ir.System vs ir.Application are
+//     disjoint outputs of one result struct).
+//
+// This is the race-and-determinism bug class PR 1's pool was designed
+// out of; the race detector only catches it when two writes actually
+// collide during a test run, sharedfold rejects it statically.
+package sharedfold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedfold",
+	Doc: "flag parallel.ForEach/Map/Do task closures that write shared captured state\n\n" +
+		"ForEach/Map tasks run the same closure concurrently per index: they must\n" +
+		"write only index-keyed slots or return values. Do tasks are distinct\n" +
+		"closures that may each write their own captured outputs, but no two may\n" +
+		"write the same state.",
+	Run: run,
+}
+
+// poolFuncs are the fan-out entry points whose task closures run
+// concurrently. Matching is by function name within a package named
+// "parallel", so the analyzer also fires on its test fixtures.
+var poolFuncs = map[string]bool{"ForEach": true, "Map": true, "Do": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "parallel" || !poolFuncs[fn.Name()] {
+			return
+		}
+		var tasks []*ast.FuncLit
+		for _, arg := range call.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				tasks = append(tasks, lit)
+			}
+		}
+		if fn.Name() == "Do" {
+			checkDo(pass, tasks)
+		} else {
+			for _, task := range tasks {
+				checkPerIndexTask(pass, fn.Name(), task)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// A write records one mutation of captured state inside a task
+// closure.
+type write struct {
+	pos  token.Pos
+	obj  types.Object // root storage
+	path []string     // field path from the root, e.g. [ir System]
+	kind writeKind
+	verb string // for diagnostics: "assignment to", "increment of", ...
+}
+
+type writeKind int
+
+const (
+	writePlain writeKind = iota // x = ..., x.f = ..., *p = ...
+	writeSliceIndex             // xs[i] = ...: the per-index slot idiom
+	writeMapIndex               // m[k] = ...: a concurrent map write when shared
+)
+
+// checkPerIndexTask enforces the strict ForEach/Map contract: the one
+// closure runs for every index, so every captured write except a
+// slice/array index slot is shared state.
+func checkPerIndexTask(pass *analysis.Pass, pool string, task *ast.FuncLit) {
+	for _, w := range collectWrites(pass, task) {
+		switch w.kind {
+		case writeSliceIndex:
+			// results[i] = v: each index owns its slot.
+		case writeMapIndex:
+			pass.Reportf(w.pos,
+				"write to captured map %s inside a parallel.%s task is a concurrent map write; collect per-index results in slice slots and merge after the fan-out (sharedfold)",
+				pathString(w), pool)
+		default:
+			pass.Reportf(w.pos,
+				"%s captured variable %s inside a parallel.%s task races across workers and makes output scheduling-dependent; write an index-keyed slot instead (sharedfold)",
+				w.verb, pathString(w), pool)
+		}
+	}
+}
+
+// checkDo enforces Do's "each task writes only its own outputs"
+// contract: writes are fine until two distinct closures touch
+// overlapping state.
+func checkDo(pass *analysis.Pass, tasks []*ast.FuncLit) {
+	type taggedWrite struct {
+		task int
+		w    write
+	}
+	var all []taggedWrite
+	for i, task := range tasks {
+		for _, w := range collectWrites(pass, task) {
+			all = append(all, taggedWrite{task: i, w: w})
+		}
+	}
+	for _, tw := range all {
+		for _, other := range all {
+			if other.task != tw.task && overlap(tw.w, other.w) {
+				pass.Reportf(tw.w.pos,
+					"parallel.Do task closures %d and %d both write %s; concurrent tasks must write disjoint outputs (sharedfold)",
+					tw.task+1, other.task+1, pathString(tw.w))
+				break
+			}
+		}
+	}
+}
+
+// overlap reports whether two writes can alias: same root object and
+// one field path a prefix of the other (writing ir overlaps writing
+// ir.System; ir.System and ir.Application are disjoint).
+func overlap(a, b write) bool {
+	if a.obj != b.obj {
+		return false
+	}
+	n := len(a.path)
+	if len(b.path) < n {
+		n = len(b.path)
+	}
+	for i := 0; i < n; i++ {
+		if a.path[i] != b.path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectWrites gathers every mutation of captured state in the task
+// body, including inside nested closures (whatever they write outlives
+// the task just the same).
+func collectWrites(pass *analysis.Pass, task *ast.FuncLit) []write {
+	var out []write
+	record := func(lhs ast.Expr, verb string) {
+		if w, ok := classifyWrite(pass.TypesInfo, task, lhs, verb); ok {
+			out = append(out, w)
+		}
+	}
+	ast.Inspect(task.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs, "assignment to")
+			}
+		case *ast.IncDecStmt:
+			verb := "increment of"
+			if n.Tok == token.DEC {
+				verb = "decrement of"
+			}
+			record(n.X, verb)
+		}
+		return true
+	})
+	return out
+}
+
+// classifyWrite resolves one lvalue to (root object, field path, kind)
+// and reports whether it mutates captured state.
+func classifyWrite(info *types.Info, task *ast.FuncLit, lhs ast.Expr, verb string) (write, bool) {
+	lhs = ast.Unparen(lhs)
+	w := write{pos: lhs.Pos(), verb: verb, kind: writePlain}
+
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		w.kind = writeSliceIndex
+		if tv, ok := info.Types[ix.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				w.kind = writeMapIndex
+			}
+		}
+		lhs = ix.X
+	}
+	obj, path := resolvePath(info, lhs)
+	if obj == nil || !capturedBy(task, obj) {
+		return write{}, false
+	}
+	w.obj, w.path = obj, path
+	return w, true
+}
+
+// resolvePath walks x.f.g[i].h style lvalues to the root object and
+// the selector path from it. Index and deref steps keep the path of
+// their operand (writing xs[i] writes "into" xs; writing *p writes
+// through p).
+func resolvePath(info *types.Info, e ast.Expr) (types.Object, []string) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return nil, nil
+		}
+		return obj, []string{x.Name}
+	case *ast.SelectorExpr:
+		obj, path := resolvePath(info, x.X)
+		if obj == nil {
+			return nil, nil
+		}
+		return obj, append(path, x.Sel.Name)
+	case *ast.IndexExpr:
+		return resolvePath(info, x.X)
+	case *ast.StarExpr:
+		return resolvePath(info, x.X)
+	default:
+		return nil, nil
+	}
+}
+
+func pathString(w write) string { return strings.Join(w.path, ".") }
+
+// capturedBy reports whether obj is declared outside the task closure
+// (and is a variable — writes to captured funcs/types are impossible).
+func capturedBy(task *ast.FuncLit, obj types.Object) bool {
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return obj.Pos() < task.Pos() || obj.Pos() >= task.End()
+}

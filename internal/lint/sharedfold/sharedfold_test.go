@@ -1,0 +1,12 @@
+package sharedfold_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/sharedfold"
+)
+
+func TestSharedfold(t *testing.T) {
+	linttest.Run(t, "testdata", sharedfold.Analyzer, "parallel", "sharedfoldtest")
+}

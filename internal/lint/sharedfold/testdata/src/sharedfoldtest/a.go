@@ -1,0 +1,132 @@
+// Fixture for the sharedfold analyzer: tasks must write index-keyed
+// slots, never captured shared state.
+package sharedfoldtest
+
+import "parallel"
+
+func goodIndexedSlots(n int) ([]int, error) {
+	out := make([]int, n)
+	err := parallel.ForEach(0, n, func(i int) error {
+		out[i] = i * i // ok: index-keyed slot
+		return nil
+	})
+	return out, err
+}
+
+func goodTaskLocal(n int) error {
+	return parallel.ForEach(0, n, func(i int) error {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j // ok: task-local accumulator
+		}
+		_ = acc
+		return nil
+	})
+}
+
+func badAppend(n int) []int {
+	var out []int
+	_ = parallel.ForEach(0, n, func(i int) error {
+		out = append(out, i) // want `assignment to captured variable out`
+		return nil
+	})
+	return out
+}
+
+func badFold(n int) int {
+	sum := 0
+	_ = parallel.ForEach(0, n, func(i int) error {
+		sum += i // want `assignment to captured variable sum`
+		return nil
+	})
+	return sum
+}
+
+func badIncrement(n int) int {
+	count := 0
+	_ = parallel.ForEach(0, n, func(i int) error {
+		count++ // want `increment of captured variable count`
+		return nil
+	})
+	return count
+}
+
+func badMapWrite(n int) map[int]int {
+	m := make(map[int]int)
+	_ = parallel.ForEach(0, n, func(i int) error {
+		m[i] = i // want `concurrent map write`
+		return nil
+	})
+	return m
+}
+
+type fits struct {
+	System      float64
+	Application float64
+}
+
+func goodDoDisjointOutputs(n int) (float64, float64, error) {
+	// Do's contract: distinct closures, each writing only its own
+	// captured outputs — the sanctioned concurrent-stage pattern.
+	var ir fits
+	var sysErr, appErr error
+	err := parallel.Do(0,
+		func() error {
+			ir.System, sysErr = 1.0, nil // ok: only this task writes ir.System
+			return sysErr
+		},
+		func() error {
+			ir.Application, appErr = 2.0, nil // ok: disjoint field
+			return appErr
+		},
+	)
+	return ir.System, ir.Application, err
+}
+
+func badDoSharedErr(n int) error {
+	var firstErr error
+	_ = parallel.Do(0,
+		func() error {
+			firstErr = nil // want `task closures 1 and 2 both write firstErr`
+			return nil
+		},
+		func() error {
+			firstErr = nil // want `task closures 2 and 1 both write firstErr`
+			return nil
+		},
+	)
+	return firstErr
+}
+
+func badDoWholeVsField(n int) fits {
+	var ir fits
+	_ = parallel.Do(0,
+		func() error {
+			ir = fits{} // want `task closures 1 and 2 both write ir`
+			return nil
+		},
+		func() error {
+			ir.System = 1 // want `task closures 2 and 1 both write ir\.System`
+			return nil
+		},
+	)
+	return ir
+}
+
+func badNestedClosure(n int) int {
+	total := 0
+	_ = parallel.ForEach(0, n, func(i int) error {
+		add := func(v int) {
+			total += v // want `assignment to captured variable total`
+		}
+		add(i)
+		return nil
+	})
+	return total
+}
+
+func goodMapHelper(n int) ([]int, error) {
+	return parallel.Map(0, n, func(i int) (int, error) {
+		return 2 * i, nil // ok: results merge through return values
+	})
+}

@@ -113,9 +113,9 @@ func TestForEachEmptyAndSingle(t *testing.T) {
 	if err := ForEach(context.Background(), 4, 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatalf("n=0: %v", err)
 	}
-	ran := 0
-	if err := ForEach(context.Background(), 4, 1, func(i int) error { ran++; return nil }); err != nil || ran != 1 {
-		t.Fatalf("n=1: err=%v ran=%d", err, ran)
+	ran := make([]int, 1)
+	if err := ForEach(context.Background(), 4, 1, func(i int) error { ran[i]++; return nil }); err != nil || ran[0] != 1 {
+		t.Fatalf("n=1: err=%v ran=%d", err, ran[0])
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/bgp"
@@ -505,12 +506,9 @@ func (e *engine) pickVictims(excludeRunID int64) []*run {
 			pool = append(pool, r)
 		}
 	}
-	// Deterministic order before sampling.
-	for i := 1; i < len(pool); i++ {
-		for j := i; j > 0 && pool[j-1].runID > pool[j].runID; j-- {
-			pool[j-1], pool[j] = pool[j], pool[j-1]
-		}
-	}
+	// Deterministic order before sampling: e.running is a map, so the
+	// append order above is random per run (maporder invariant).
+	sort.Slice(pool, func(i, j int) bool { return pool[i].runID < pool[j].runID })
 	n := 1 + e.rng.Intn(e.cfg.SharedVictimMax)
 	if n > len(pool) {
 		n = len(pool)

@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// TestInterruptedJobsTableStable is the maporder regression test: a
+// table built from GroundTruth.InterruptedJobs must render
+// byte-identically on every call.
+//
+// Before InterruptedJobs sorted its result (the bgplint maporder fix),
+// the IDs came out in Go's randomized map-iteration order — different
+// on every call, even within one process — so a table built from them
+// permuted its rows run to run and any golden comparison over such
+// output flaked. With 32 interrupted jobs the chance of two
+// consecutive calls agreeing by luck is 1/32!, so this test reliably
+// failed before the fix and must stay stable after it.
+func TestInterruptedJobsTableStable(t *testing.T) {
+	g := GroundTruth{Outcomes: make(map[int64]Outcome)}
+	for id := int64(1); id <= 64; id++ {
+		g.Outcomes[id] = Outcome{Interrupted: id%2 == 0, Code: "KERN_PANIC"}
+	}
+
+	renderOnce := func() string {
+		tb := report.NewTable("interrupted jobs", "JobID")
+		for _, id := range g.InterruptedJobs() {
+			tb.AddRow(id)
+		}
+		var buf bytes.Buffer
+		if err := tb.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	first := renderOnce()
+	for trial := 1; trial < 50; trial++ {
+		if got := renderOnce(); got != first {
+			t.Fatalf("table rows permuted between identical calls (map-order leak):\n--- call 0 ---\n%s\n--- call %d ---\n%s", first, trial, got)
+		}
+	}
+
+	// And the order is the documented one: ascending IDs.
+	ids := g.InterruptedJobs()
+	if len(ids) != 32 {
+		t.Fatalf("got %d interrupted jobs, want 32", len(ids))
+	}
+	for i, id := range ids {
+		if want := int64(2 * (i + 1)); id != want {
+			t.Fatalf("ids[%d] = %d, want %d (ascending order)", i, id, want)
+		}
+	}
+}

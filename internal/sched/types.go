@@ -9,6 +9,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/errcat"
@@ -105,7 +106,9 @@ type GroundTruth struct {
 	Outcomes map[int64]Outcome
 }
 
-// InterruptedJobs returns the IDs of interrupted jobs.
+// InterruptedJobs returns the IDs of interrupted jobs, in ascending
+// order — Outcomes is a map, and an unsorted collection would leak
+// random map order to every consumer (maporder invariant).
 func (g GroundTruth) InterruptedJobs() []int64 {
 	var out []int64
 	for id, o := range g.Outcomes {
@@ -113,6 +116,7 @@ func (g GroundTruth) InterruptedJobs() []int64 {
 			out = append(out, id)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,15 +1,21 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // entropy returns the Shannon entropy (bits) of a discrete count
-// distribution.
+// distribution. Terms are accumulated in sorted key order: float
+// addition is not associative, so folding in map order would drift in
+// the last ulp between runs (maporder invariant).
 func entropy(counts map[string]int, total int) float64 {
 	if total == 0 {
 		return 0
 	}
 	h := 0.0
-	for _, c := range counts {
+	for _, k := range sortedKeys(counts) {
+		c := counts[k]
 		if c == 0 {
 			continue
 		}
@@ -17,6 +23,17 @@ func entropy(counts map[string]int, total int) float64 {
 		h -= p * math.Log2(p)
 	}
 	return h
+}
+
+// sortedKeys returns m's keys in sorted order, the iteration order
+// every order-sensitive fold in this package must use.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // GainRatioResult carries the decomposition of a gain-ratio
@@ -59,8 +76,8 @@ func GainRatio(feature, class []string) GainRatioResult {
 	}
 	hClass := entropy(classCounts, n)
 	hCond := 0.0
-	for f, m := range joint {
-		hCond += float64(featCounts[f]) / float64(n) * entropy(m, featCounts[f])
+	for _, f := range sortedKeys(joint) {
+		hCond += float64(featCounts[f]) / float64(n) * entropy(joint[f], featCounts[f])
 	}
 	ig := hClass - hCond
 	if ig < 0 {
@@ -91,8 +108,8 @@ type RankedFeature struct {
 // values; every column must have the same length as class.
 func RankFeatures(features map[string][]string, class []string) []RankedFeature {
 	out := make([]RankedFeature, 0, len(features))
-	for name, col := range features {
-		out = append(out, RankedFeature{Name: name, Score: GainRatio(col, class)})
+	for _, name := range sortedKeys(features) {
+		out = append(out, RankedFeature{Name: name, Score: GainRatio(features[name], class)})
 	}
 	// Insertion sort by (ratio desc, name asc): tiny n.
 	for i := 1; i < len(out); i++ {

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGainRatioBitStable is the float-fold half of the maporder
+// regression: H(class|feature) sums one inexact float term per
+// distinct feature value, and float addition is not associative.
+// Before the bgplint maporder fix the fold followed random
+// map-iteration order, so repeated calls on identical input could
+// differ in the last ulp — enough to flip a full-precision %v in a
+// report and break byte-identical goldens. After the fix every fold
+// iterates sorted keys, so results must be bit-for-bit identical.
+func TestGainRatioBitStable(t *testing.T) {
+	// 13 feature values × 3 classes over 97 rows: many inexact terms.
+	var feature, class []string
+	for i := 0; i < 97; i++ {
+		feature = append(feature, fmt.Sprintf("f%02d", i%13))
+		class = append(class, fmt.Sprintf("c%d", i%3))
+	}
+	first := GainRatio(feature, class)
+	for trial := 1; trial < 100; trial++ {
+		if got := GainRatio(feature, class); got != first {
+			t.Fatalf("call %d: GainRatio drifted on identical input:\nfirst %+v\n got  %+v", trial, first, got)
+		}
+	}
+}
+
+// TestRankFeaturesStableOrder pins the ranking order across repeated
+// calls, including the deliberately tied columns that exercise the
+// name tie-break.
+func TestRankFeaturesStableOrder(t *testing.T) {
+	class := []string{"a", "a", "b", "b", "a", "b", "a", "b"}
+	features := map[string][]string{
+		"informative": {"x", "x", "y", "y", "x", "y", "x", "y"},
+		"constant":    {"k", "k", "k", "k", "k", "k", "k", "k"},
+		"tied1":       {"p", "q", "p", "q", "p", "q", "p", "q"},
+		"tied2":       {"q", "p", "q", "p", "q", "p", "q", "p"},
+	}
+	nameSeq := func() []string {
+		var out []string
+		for _, rf := range RankFeatures(features, class) {
+			out = append(out, rf.Name)
+		}
+		return out
+	}
+	first := nameSeq()
+	for trial := 1; trial < 50; trial++ {
+		got := nameSeq()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("call %d: ranking order changed: %v vs %v", trial, first, got)
+			}
+		}
+	}
+	if first[0] != "informative" {
+		t.Fatalf("top feature = %q, want informative (order: %v)", first[0], first)
+	}
+}

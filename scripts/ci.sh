@@ -11,6 +11,25 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
+echo "== bgplint (determinism & parallel-safety analyzers)"
+go build -o bin/bgplint ./cmd/bgplint
+./bin/bgplint ./...
+
+# Third-party linters run when available; the build environment is
+# offline, so they are gated rather than installed here.
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck"
+	staticcheck ./...
+else
+	echo "== staticcheck (not installed; skipped)"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "== govulncheck"
+	govulncheck ./...
+else
+	echo "== govulncheck (not installed; skipped)"
+fi
+
 echo "== go test"
 go test ./...
 
