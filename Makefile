@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint check fuzz bench golden
+.PHONY: all build vet test race lint lint-baseline check fuzz bench golden
 
 all: check
 
@@ -24,21 +24,33 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Determinism & parallel-safety analyzers (detrand, maporder, seedflow,
-# sharedfold). Also runnable through the vet driver, which additionally
-# covers _test.go files: go vet -vettool=$(PWD)/bin/bgplint ./...
+# Determinism & domain analyzers (callgraph, detrand, errcode, idkind,
+# maporder, seedtaint, sharedfold), gated against the committed
+# baseline: only NEW findings fail (exit 1; exit 2 = tool failure).
+# Also runnable through the vet driver, which additionally covers
+# _test.go files: go vet -vettool=$(PWD)/bin/bgplint ./...
+LINT_PKGS = ./... ./cmd/... ./examples/...
 lint:
 	$(GO) build -o bin/bgplint ./cmd/bgplint
-	./bin/bgplint ./...
+	./bin/bgplint -baseline lint.baseline.json $(LINT_PKGS)
+
+# Snapshot current findings into the committed baseline (the
+# suppression workflow; see README "Linting"). Review the diff like
+# code.
+lint-baseline:
+	$(GO) build -o bin/bgplint ./cmd/bgplint
+	./bin/bgplint -write-baseline lint.baseline.json $(LINT_PKGS)
 
 check: build vet lint test race
 
-# Short fuzz smoke of the two line parsers (the checked-in corpora and
-# seed inputs always run as part of `test`; this explores further).
+# Short fuzz smoke of the line parsers and the location-code grammar
+# (the checked-in corpora and seed inputs always run as part of `test`;
+# this explores further).
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/raslog -fuzz FuzzParseRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/joblog -fuzz FuzzParseJob -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bgp -fuzz FuzzParseLocation -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

@@ -1,7 +1,7 @@
 // Command bgplint is the multichecker for this repo's determinism and
-// parallel-safety invariants: the detrand, maporder, seedflow and
-// sharedfold analyzers (see internal/lint and DESIGN.md "Determinism
-// invariants").
+// parallel-safety invariants: the callgraph, detrand, errcode, idkind,
+// maporder, seedtaint and sharedfold analyzers (see internal/lint and
+// DESIGN.md "Determinism invariants").
 //
 // Standalone:
 //
@@ -9,8 +9,20 @@
 //
 // loads the named packages (compiling dependency export data through
 // the ordinary build cache) and prints one line per finding,
-// vet-style; exit status 2 means findings, 1 means a tool failure.
-// Test files are not scanned in this mode.
+// vet-style. Exit status follows the CI contract: 0 clean, 1 findings
+// (after baseline suppression), 2 tool or load failure. Test files are
+// not scanned in this mode.
+//
+// Reports and gating:
+//
+//	bgplint -sarif bgplint.sarif ./...           # SARIF 2.1.0 artifact
+//	bgplint -write-baseline lint.baseline.json ./...
+//	bgplint -baseline lint.baseline.json ./...   # fail only on NEW findings
+//
+// Baselines store line-independent fingerprints (see
+// internal/lint/baseline), so unrelated edits never churn them; a
+// SARIF report written alongside a baseline marks each result's
+// baselineState as "new" or "unchanged".
 //
 // As a vet tool:
 //
@@ -18,52 +30,64 @@
 //	go vet -vettool=$(pwd)/bin/bgplint ./...
 //
 // runs the same analyzers under the go command's vet protocol, which
-// also covers test packages and caches results per package.
+// also covers test packages and caches results per package; the same
+// 0/1/2 exit contract applies per unit (go vet surfaces any nonzero
+// status as a vet failure).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/baseline"
 	"repro/internal/lint/driver"
+	"repro/internal/lint/sarif"
 )
 
+// toolVersion labels SARIF output; bump alongside analyzer additions.
+const toolVersion = "2.0"
+
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+func run(args []string, stdout *os.File) int {
 	fs := flag.NewFlagSet("bgplint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	versionFlag := fs.String("V", "", "print version and exit (vet protocol)")
 	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit (vet protocol)")
+	sarifFlag := fs.String("sarif", "", "write a SARIF 2.1.0 report to `file` (standalone mode)")
+	baselineFlag := fs.String("baseline", "", "suppress findings fingerprinted in baseline `file`; exit 1 only on new findings")
+	writeBaselineFlag := fs.String("write-baseline", "", "write all current findings to baseline `file` and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bgplint [packages]\n       go vet -vettool=$(which bgplint) [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: bgplint [-sarif file] [-baseline file | -write-baseline file] [packages]\n       go vet -vettool=$(which bgplint) [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			doc, _, _ := strings.Cut(a.Doc, "\n")
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+			fmt.Fprintf(os.Stderr, "  %-12s [%-7s] %s\n", a.Name, lint.Severity(a.Name), doc)
 		}
 	}
 	if err := fs.Parse(args); err != nil {
-		return 1
+		return driver.ExitFailure
 	}
 
 	if *versionFlag != "" {
-		if err := driver.PrintVersion(os.Stdout); err != nil {
+		if err := driver.PrintVersion(stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return driver.ExitFailure
 		}
-		return 0
+		return driver.ExitClean
 	}
 	if *flagsFlag {
-		if err := driver.PrintFlags(os.Stdout); err != nil {
+		if err := driver.PrintFlags(stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return driver.ExitFailure
 		}
-		return 0
+		return driver.ExitClean
 	}
 
 	analyzers := lint.Analyzers()
@@ -80,18 +104,125 @@ func run(args []string) int {
 	pkgs, err := driver.Load(".", patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bgplint:", err)
-		return 1
+		return driver.ExitFailure
 	}
 	findings, err := driver.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bgplint:", err)
-		return 1
+		return driver.ExitFailure
 	}
-	for _, f := range findings {
-		fmt.Printf("%s: %s\n", f.Pos, f.Message)
+
+	rel := relTo(".")
+	fps := baseline.Fingerprints(findings, rel)
+
+	if *writeBaselineFlag != "" {
+		bl := baseline.FromFindings(findings, fps, rel)
+		if err := bl.WriteFile(*writeBaselineFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "bgplint:", err)
+			return driver.ExitFailure
+		}
+		fmt.Fprintf(os.Stderr, "bgplint: wrote %d finding(s) to %s\n", len(findings), *writeBaselineFlag)
+		return driver.ExitClean
 	}
-	if len(findings) > 0 {
-		return 2
+
+	// suppressed[i] means finding i is fingerprinted in the baseline;
+	// states feed the SARIF baselineState field.
+	suppressed := make([]bool, len(findings))
+	states := make([]string, len(findings))
+	if *baselineFlag != "" {
+		bl, err := baseline.Load(*baselineFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bgplint:", err)
+			return driver.ExitFailure
+		}
+		suppressed = bl.Suppressed(fps)
+		for i, s := range suppressed {
+			if s {
+				states[i] = "unchanged"
+			} else {
+				states[i] = "new"
+			}
+		}
 	}
-	return 0
+
+	if *sarifFlag != "" {
+		if err := writeSARIF(*sarifFlag, analyzersRules(analyzers), findings, fps, states, rel); err != nil {
+			fmt.Fprintln(os.Stderr, "bgplint:", err)
+			return driver.ExitFailure
+		}
+	}
+
+	fresh := 0
+	for i, f := range findings {
+		if suppressed[i] {
+			continue
+		}
+		fresh++
+		fmt.Fprintf(stdout, "%s: %s\n", f.Pos, f.Message)
+	}
+	if n := len(findings) - fresh; n > 0 {
+		fmt.Fprintf(os.Stderr, "bgplint: %d finding(s) suppressed by baseline %s\n", n, *baselineFlag)
+	}
+	if fresh > 0 {
+		return driver.ExitFindings
+	}
+	return driver.ExitClean
+}
+
+// relTo returns a function mapping absolute source filenames to paths
+// relative to dir, slash-separated, so fingerprints and SARIF URIs are
+// stable across checkouts. Paths outside dir pass through unchanged.
+func relTo(dir string) func(string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	return func(name string) string {
+		if r, err := filepath.Rel(abs, name); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return filepath.ToSlash(name)
+	}
+}
+
+// analyzersRules builds the SARIF rule table: one entry per analyzer,
+// documented by the first line of its Doc and its severity tier.
+func analyzersRules(analyzers []*analysis.Analyzer) []sarif.Rule {
+	rules := make([]sarif.Rule, 0, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		rules = append(rules, sarif.Rule{
+			ID:               a.Name,
+			ShortDescription: sarif.Message{Text: doc},
+			DefaultConfig:    &sarif.RuleConfig{Level: lint.Severity(a.Name)},
+		})
+	}
+	return rules
+}
+
+// writeSARIF renders every finding — including baselined ones, with
+// their baselineState — so the artifact is a complete inventory.
+func writeSARIF(path string, rules []sarif.Rule, findings []driver.Finding, fps, states []string, rel func(string) string) error {
+	infos := make([]sarif.FindingInfo, 0, len(findings))
+	for i, f := range findings {
+		infos = append(infos, sarif.FindingInfo{
+			RuleID:        f.Analyzer,
+			Level:         lint.Severity(f.Analyzer),
+			Message:       f.Message,
+			URI:           rel(f.Pos.Filename),
+			Line:          f.Pos.Line,
+			Column:        f.Pos.Column,
+			Fingerprint:   fps[i],
+			BaselineState: states[i],
+		})
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := sarif.Build(toolVersion, rules, infos).Encode(out); err != nil {
+		return err
+	}
+	return out.Close()
 }

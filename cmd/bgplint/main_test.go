@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+// copyFixture clones testdata/modfixture — a standalone module with
+// one seedtaint finding — into a temp dir the test may mutate.
+func copyFixture(t *testing.T) string {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "modfixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runTool invokes the real entry point with stdout captured.
+func runTool(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code := run(args, out)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// TestExitCodeContract walks the documented CI workflow end to end:
+// findings exit 1; -write-baseline captures them and exits 0; a
+// baselined rerun exits 0 and marks SARIF results "unchanged"; a new
+// finding on top of the baseline exits 1 again; a missing baseline
+// file is a tool failure (exit 2).
+func TestExitCodeContract(t *testing.T) {
+	dir := copyFixture(t)
+	t.Chdir(dir)
+
+	code, out := runTool(t, "./...")
+	if code != driver.ExitFindings {
+		t.Fatalf("bare run: exit %d, want %d (findings)\noutput:\n%s", code, driver.ExitFindings, out)
+	}
+	if !strings.Contains(out, "seedtaint") {
+		t.Fatalf("bare run output does not mention seedtaint:\n%s", out)
+	}
+
+	code, _ = runTool(t, "-write-baseline", "lint.baseline.json", "./...")
+	if code != driver.ExitClean {
+		t.Fatalf("-write-baseline: exit %d, want %d", code, driver.ExitClean)
+	}
+	if _, err := os.Stat("lint.baseline.json"); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	code, out = runTool(t, "-baseline", "lint.baseline.json", "-sarif", "bgplint.sarif", "./...")
+	if code != driver.ExitClean {
+		t.Fatalf("baselined run: exit %d, want %d\noutput:\n%s", code, driver.ExitClean, out)
+	}
+	if strings.Contains(out, "seedtaint") {
+		t.Fatalf("baselined run still prints suppressed finding:\n%s", out)
+	}
+	checkSARIF(t, "bgplint.sarif", "unchanged")
+
+	extra := "package modfixture\n\nimport \"math/rand\"\n\nfunc AnotherBadSource() rand.Source { return rand.NewSource(7) }\n"
+	if err := os.WriteFile("extra.go", []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out = runTool(t, "-baseline", "lint.baseline.json", "./...")
+	if code != driver.ExitFindings {
+		t.Fatalf("new finding over baseline: exit %d, want %d\noutput:\n%s", code, driver.ExitFindings, out)
+	}
+	if !strings.Contains(out, "extra.go") {
+		t.Fatalf("new finding not reported:\n%s", out)
+	}
+
+	code, _ = runTool(t, "-baseline", "no-such-file.json", "./...")
+	if code != driver.ExitFailure {
+		t.Fatalf("missing baseline: exit %d, want %d", code, driver.ExitFailure)
+	}
+}
+
+// checkSARIF decodes the report and asserts the fields CI consumers
+// rely on: spec version, the full rule table, and per-result
+// fingerprint + baselineState.
+func checkSARIF(t *testing.T, path, wantState string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID              string            `json:"ruleId"`
+				Level               string            `json:"level"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+				BaselineState       string            `json:"baselineState"`
+				Locations           []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("sarif runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "bgplint" {
+		t.Errorf("tool name = %q, want bgplint", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(lint.Analyzers()); got != want {
+		t.Errorf("rule table has %d entries, want %d (one per analyzer)", got, want)
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("sarif report has no results; expected the fixture finding")
+	}
+	for _, r := range run.Results {
+		if r.RuleID != "seedtaint" {
+			t.Errorf("result ruleId = %q, want seedtaint", r.RuleID)
+		}
+		if r.Level != lint.Severity("seedtaint") {
+			t.Errorf("result level = %q, want %q", r.Level, lint.Severity("seedtaint"))
+		}
+		if r.BaselineState != wantState {
+			t.Errorf("baselineState = %q, want %q", r.BaselineState, wantState)
+		}
+		if len(r.PartialFingerprints) == 0 {
+			t.Error("result has no partialFingerprints")
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "fixture.go" {
+			t.Errorf("result location = %+v, want fixture.go", r.Locations)
+		}
+		if r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Error("result region has no startLine")
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package modfixture is a self-contained module with one known lint
+// finding: a magic-literal rand.NewSource seed that seedtaint flags in
+// any package. cmd/bgplint's tests run the real binary entry point
+// over a copy of this module to exercise the exit-code, baseline, and
+// SARIF workflows.
+package modfixture
+
+import "math/rand"
+
+// BadSource pins a generator to a literal seed with no Config.Seed
+// provenance — the canonical seedtaint violation.
+func BadSource() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}

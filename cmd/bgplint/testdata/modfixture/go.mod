@@ -1,0 +1,3 @@
+module modfixture
+
+go 1.22

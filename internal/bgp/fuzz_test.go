@@ -1,0 +1,110 @@
+package bgp_test
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+)
+
+// FuzzParseLocation drives the CMCS location-code grammar with every
+// kind shape plus malformed neighbors. Without -fuzz the seed corpus
+// runs as ordinary regression cases; under -fuzz the engine mutates
+// them. The properties checked hold for arbitrary input:
+//
+//   - ParseLocation either fails with a zero Location or yields one
+//     that Valid() accepts;
+//   - String() of a parsed location re-parses to the identical value
+//     (the grammar is canonicalizing: "R23-M0-N+8-J09" parses but
+//     renders as "R23-M0-N08-J09", which must parse back to the same
+//     Location);
+//   - derived indices stay inside the machine geometry.
+func FuzzParseLocation(f *testing.F) {
+	seeds := []string{
+		// One of each LocationKind.
+		"R23",
+		"R23-M0",
+		"R23-M0-S",
+		"R23-M0-L2",
+		"R23-M0-N08",
+		"R23-M0-N08-J09",
+		// Geometry extremes.
+		"R00",
+		"R47-M1-N15-J31",
+		"R07-M1-L3",
+		// Out-of-geometry but well-formed codes.
+		"R40-M0", // row 4, col 0: valid; the mirror R48-M0 is not
+		"R48-M0",
+		"R50",
+		"R23-M2",
+		"R23-M0-L4",
+		"R23-M0-N16",
+		"R23-M0-N08-J32",
+		// Truncated tails and malformed segments.
+		"",
+		"R",
+		"R2",
+		"R23-",
+		"R23-M",
+		"R23-M0-",
+		"R23-M0-N",
+		"R23-M0-N08-",
+		"R23-M0-N08-J9",
+		"R23-M0-S-J01",
+		"R23-M0-L2-J01",
+		"R23-M0-N+8-J09",
+		"r23-m0",
+		"Q23-M0",
+		"R23_M0",
+		"R23-M0-N08-J09-X",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		loc, err := bgp.ParseLocation(s)
+		if err != nil {
+			if loc != (bgp.Location{}) {
+				t.Fatalf("ParseLocation(%q) errored but returned non-zero %+v", s, loc)
+			}
+			return
+		}
+		if !loc.Valid() {
+			t.Fatalf("ParseLocation(%q) = %+v, which Valid() rejects", s, loc)
+		}
+
+		// Canonical render must re-parse to the identical Location and
+		// be a fixed point of the round trip.
+		out := loc.String()
+		loc2, err := bgp.ParseLocation(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q (String of %q) failed: %v", out, s, err)
+		}
+		if loc2 != loc {
+			t.Fatalf("round trip of %q: parsed %+v, re-parsed %+v", s, loc, loc2)
+		}
+		if got := loc2.String(); got != out {
+			t.Fatalf("String not canonical for %q: %q then %q", s, out, got)
+		}
+
+		// Derived indices stay inside the geometry.
+		if ri := loc.RackIndex(); ri < 0 || ri >= bgp.NumRacks {
+			t.Fatalf("RackIndex(%q) = %d out of range", s, ri)
+		}
+		if mp := loc.MidplaneIndex(); mp < -1 || mp >= bgp.NumMidplanes {
+			t.Fatalf("MidplaneIndex(%q) = %d out of range", s, mp)
+		}
+		mps := loc.Midplanes()
+		wantLen := 1
+		if loc.Kind == bgp.KindRack {
+			wantLen = 2
+		}
+		if len(mps) != wantLen {
+			t.Fatalf("Midplanes(%q) = %v, want %d entries for kind %v", s, mps, wantLen, loc.Kind)
+		}
+		for _, mp := range mps {
+			if mp < 0 || mp >= bgp.NumMidplanes {
+				t.Fatalf("Midplanes(%q) contains out-of-range index %d", s, mp)
+			}
+		}
+	})
+}

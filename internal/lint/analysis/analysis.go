@@ -11,9 +11,11 @@
 // their import path once golang.org/x/tools can be pinned in go.mod
 // (see the note in go.mod).
 //
-// Facts, result dependencies between analyzers (Requires/ResultOf),
-// and flags are intentionally omitted: the four bgplint analyzers are
-// all intraprocedural and fact-free.
+// Flags and analyzer-specific result *types* checking are still
+// omitted, but since bgplint v2 the subset includes Facts (serialized
+// per-package summaries that let an analyzer see across package
+// boundaries) and result dependencies between analyzers
+// (Requires/ResultOf), both source-compatible with upstream.
 package analysis
 
 import (
@@ -34,12 +36,30 @@ type Analyzer struct {
 	Doc string
 
 	// Run applies the analyzer to a single package. It returns an
-	// analyzer-specific result (unused by bgplint's analyzers, kept
-	// for upstream compatibility) or an error.
+	// analyzer-specific result (consumed by dependent analyzers via
+	// Pass.ResultOf) or an error.
 	Run func(*Pass) (interface{}, error)
+
+	// Requires lists analyzers that must run on the same package
+	// before this one; their results are available in Pass.ResultOf.
+	Requires []*Analyzer
+
+	// FactTypes enumerates the concrete fact types (pointer values)
+	// this analyzer imports or exports. Drivers use the list to
+	// register fact types for serialization; an analyzer with no
+	// FactTypes gets no cross-package state.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
+
+// A Fact is a serializable per-object or per-package summary an
+// analyzer exports for dependent packages. Concrete fact types must be
+// pointers to gob-encodable structs with exported fields.
+type Fact interface {
+	// AFact is a marker method; it has no behaviour.
+	AFact()
+}
 
 // A Pass provides one analyzer run over one package: the syntax trees,
 // the type-checked package, and a sink for diagnostics.
@@ -52,11 +72,58 @@ type Pass struct {
 
 	// Report emits one diagnostic. The driver supplies it.
 	Report func(Diagnostic)
+
+	// ResultOf maps each analyzer in Requires to its result on this
+	// package. The driver supplies it.
+	ResultOf map[*Analyzer]interface{}
+
+	// ImportObjectFact copies into fact the fact previously exported
+	// for obj (by this pass or by a pass over the defining package)
+	// and reports whether one existed. The driver supplies it.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// ExportObjectFact associates fact with obj for later passes.
+	// Facts attach only to package-level objects and methods; exports
+	// on anything else are silently dropped, matching what can be
+	// named from another package. The driver supplies it.
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportPackageFact copies into fact the fact previously exported
+	// for pkg and reports whether one existed. The driver supplies it.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+
+	// ExportPackageFact associates fact with the current package. The
+	// driver supplies it.
+	ExportPackageFact func(fact Fact)
 }
 
 // Reportf emits a diagnostic at pos with a Sprintf-formatted message.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Expand returns analyzers plus every transitive Requires dependency,
+// in a topological order: each analyzer appears after everything it
+// requires, and duplicates are dropped. Drivers run analyzers over a
+// package in this order so that Pass.ResultOf is always populated.
+func Expand(analyzers []*Analyzer) []*Analyzer {
+	var order []*Analyzer
+	seen := make(map[*Analyzer]bool)
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		order = append(order, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return order
 }
 
 // A Diagnostic is one finding, anchored to a source position.

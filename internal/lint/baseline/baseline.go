@@ -1,0 +1,134 @@
+// Package baseline gives bgplint a ratchet: a committed inventory of
+// known findings, keyed by stable fingerprints, so CI fails only on
+// NEW findings while existing debt is paid down incrementally.
+//
+// Fingerprints deliberately exclude line and column numbers. A finding
+// is identified by (analyzer, file, message, occurrence index), where
+// the occurrence index counts identical triples within one run in the
+// driver's sorted order. Unrelated edits that shift a finding up or
+// down its file leave its fingerprint — and the baseline — unchanged;
+// only introducing a genuinely new finding (or duplicating an existing
+// one) produces an unknown fingerprint.
+package baseline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/lint/driver"
+)
+
+// Version is the baseline file schema version.
+const Version = 1
+
+// An Entry is one suppressed finding. Analyzer, File, and Message are
+// redundant with the fingerprint; they are stored so a reviewer can
+// audit what a baseline hides without rerunning the tool.
+type Entry struct {
+	Fingerprint string `json:"fingerprint"`
+	Analyzer    string `json:"analyzer"`
+	File        string `json:"file"`
+	Message     string `json:"message"`
+}
+
+// A File is a parsed baseline.
+type File struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"findings"`
+}
+
+// Fingerprint hashes one finding identity. occurrence disambiguates
+// identical (analyzer, file, message) triples: the Nth copy in sorted
+// order always hashes the same, so the scheme has multiset semantics
+// without storing counts.
+func Fingerprint(analyzer, file, message string, occurrence int) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%d", analyzer, file, message, occurrence)))
+	return hex.EncodeToString(h[:8])
+}
+
+// Fingerprints computes the fingerprint of each finding, positionally.
+// fs must be in the driver's sorted order so occurrence indices are
+// deterministic. rel maps a position's filename to the repo-relative,
+// slash-separated form stored in baselines.
+func Fingerprints(fs []driver.Finding, rel func(string) string) []string {
+	seen := make(map[string]int)
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		file := rel(f.Pos.Filename)
+		k := f.Analyzer + "|" + file + "|" + f.Message
+		out[i] = Fingerprint(f.Analyzer, file, f.Message, seen[k])
+		seen[k]++
+	}
+	return out
+}
+
+// FromFindings builds a baseline covering every given finding. fps
+// must be the parallel slice from Fingerprints.
+func FromFindings(fs []driver.Finding, fps []string, rel func(string) string) *File {
+	bl := &File{Version: Version, Entries: []Entry{}}
+	for i, f := range fs {
+		bl.Entries = append(bl.Entries, Entry{
+			Fingerprint: fps[i],
+			Analyzer:    f.Analyzer,
+			File:        rel(f.Pos.Filename),
+			Message:     f.Message,
+		})
+	}
+	sort.Slice(bl.Entries, func(i, j int) bool {
+		a, b := bl.Entries[i], bl.Entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return a.Fingerprint < b.Fingerprint
+	})
+	return bl
+}
+
+// Load reads and validates a baseline file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bl File
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if bl.Version != Version {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want %d)", path, bl.Version, Version)
+	}
+	return &bl, nil
+}
+
+// WriteFile writes the baseline as stable, human-diffable JSON.
+func (bl *File) WriteFile(path string) error {
+	data, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Suppressed reports, positionally, whether each fingerprint is
+// covered by the baseline.
+func (bl *File) Suppressed(fps []string) []bool {
+	known := make(map[string]bool, len(bl.Entries))
+	for _, e := range bl.Entries {
+		known[e.Fingerprint] = true
+	}
+	out := make([]bool, len(fps))
+	for i, fp := range fps {
+		out[i] = known[fp]
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// Package callgraph defines the bgplint fact pass that builds the
+// static intra-package call graph and exports per-function callee
+// facts, giving the interprocedural analyzers (seedtaint, idkind) a
+// shared view of who calls whom across the whole module.
+//
+// The graph is deliberately static and syntactic: an edge exists for
+// every call expression whose callee resolves to a declared function
+// or method (lintutil.Callee). Calls through function values,
+// interfaces, and deferred closures bound elsewhere are out of scope —
+// the analyzers that consume the graph treat a missing edge as "no
+// information", never as "safe".
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "callgraph",
+	Doc: "build the static call graph and export per-function callee facts\n\n" +
+		"A fact pass with no diagnostics of its own: for every declared function\n" +
+		"and method it records the statically resolvable call sites (including\n" +
+		"those inside nested function literals, attributed to the declaration)\n" +
+		"and exports a CalleesFact, so dependent analyzers can follow dataflow\n" +
+		"across function and package boundaries.",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*CalleesFact)(nil)},
+}
+
+// A CalleesFact summarizes the statically resolved callees of one
+// function for cross-package consumers, as "pkgpath.objpath" symbols,
+// sorted and deduplicated.
+type CalleesFact struct {
+	Callees []string
+}
+
+// AFact marks CalleesFact as a fact type.
+func (*CalleesFact) AFact() {}
+
+// Sym renders fn as the symbol form used in CalleesFact
+// ("pkgpath.Name" or "pkgpath.Recv.Name"), or "" when fn cannot be
+// named across packages.
+func Sym(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, ok := facts.ObjectPath(fn)
+	if !ok {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + path
+}
+
+// A Call is one statically resolved call site.
+type Call struct {
+	// Site is the call expression.
+	Site *ast.CallExpr
+	// Callee is the invoked function or method; it may belong to
+	// another package.
+	Callee *types.Func
+}
+
+// A Node is one declared function or method of the package under
+// analysis.
+type Node struct {
+	// Fn is the declared function object.
+	Fn *types.Func
+	// Decl is its syntax.
+	Decl *ast.FuncDecl
+	// Calls lists the statically resolved call sites lexically inside
+	// Decl, in source order, including sites inside nested function
+	// literals.
+	Calls []Call
+}
+
+// Result is the callgraph analyzer's per-package result.
+type Result struct {
+	// Nodes maps each declared function to its node.
+	Nodes map[*types.Func]*Node
+	// Order lists the nodes in source order, so consumers can seed
+	// worklists and emit output deterministically without sorting the
+	// Nodes map.
+	Order []*Node
+	// CallersOf maps a callee to the package-local nodes that call it
+	// (each caller listed once, in source order), for worklist
+	// propagation.
+	CallersOf map[*types.Func][]*Node
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	res := &Result{
+		Nodes:     make(map[*types.Func]*Node),
+		CallersOf: make(map[*types.Func][]*Node),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &Node{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := lintutil.Callee(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				node.Calls = append(node.Calls, Call{Site: call, Callee: callee})
+				return true
+			})
+			res.Nodes[fn] = node
+			res.Order = append(res.Order, node)
+		}
+	}
+
+	for _, node := range res.Order {
+		seen := make(map[*types.Func]bool)
+		callees := make(map[string]bool)
+		for _, c := range node.Calls {
+			if !seen[c.Callee] {
+				seen[c.Callee] = true
+				res.CallersOf[c.Callee] = append(res.CallersOf[c.Callee], node)
+			}
+			if sym := Sym(c.Callee); sym != "" {
+				callees[sym] = true
+			}
+		}
+		if len(callees) == 0 {
+			continue
+		}
+		list := make([]string, 0, len(callees))
+		for sym := range callees {
+			list = append(list, sym)
+		}
+		sort.Strings(list)
+		pass.ExportObjectFact(node.Fn, &CalleesFact{Callees: list})
+	}
+	return res, nil
+}

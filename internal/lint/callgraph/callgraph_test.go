@@ -1,0 +1,52 @@
+package callgraph_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/linttest"
+)
+
+func TestCallgraph(t *testing.T) {
+	res, store := linttest.RunAnalyzer(t, "testdata", callgraph.Analyzer, "cgtest")
+	g, ok := res.(*callgraph.Result)
+	if !ok || g == nil {
+		t.Fatalf("result = %T, want *callgraph.Result", res)
+	}
+
+	byName := make(map[string]int) // function name -> resolved call count
+	for fn, node := range g.Nodes {
+		byName[fn.Name()] = len(node.Calls)
+	}
+	// A makes three resolvable calls: B (inside the nested literal),
+	// and t.M; the call to the local variable f is dynamic and absent.
+	if byName["A"] != 2 {
+		t.Errorf("A has %d resolved calls, want 2 (B via closure, t.M)", byName["A"])
+	}
+	if byName["B"] != 1 {
+		t.Errorf("B has %d resolved calls, want 1 (strings.ToUpper)", byName["B"])
+	}
+	if byName["leaf"] != 0 {
+		t.Errorf("leaf has %d resolved calls, want 0", byName["leaf"])
+	}
+
+	var f callgraph.CalleesFact
+	if !store.ImportObjectFactByPath("cgtest", "A", &f) {
+		t.Fatal("no CalleesFact exported for cgtest.A")
+	}
+	want := []string{"cgtest.B", "cgtest.T.M"}
+	if !reflect.DeepEqual(f.Callees, want) {
+		t.Errorf("CalleesFact(A) = %v, want %v", f.Callees, want)
+	}
+	var mf callgraph.CalleesFact
+	if !store.ImportObjectFactByPath("cgtest", "T.M", &mf) {
+		t.Fatal("no CalleesFact exported for cgtest.T.M")
+	}
+	if want := []string{"strings.ToLower"}; !reflect.DeepEqual(mf.Callees, want) {
+		t.Errorf("CalleesFact(T.M) = %v, want %v", mf.Callees, want)
+	}
+	if store.ImportObjectFactByPath("cgtest", "leaf", &f) {
+		t.Error("leaf unexpectedly has a CalleesFact")
+	}
+}

@@ -1,0 +1,19 @@
+// Fixture for the callgraph fact pass: no diagnostics, only structure.
+package cgtest
+
+import "strings"
+
+type T struct{}
+
+func (T) M() string { return strings.ToLower("X") }
+
+func A(t T) string {
+	f := func() string { return B() } // nested literal attributed to A
+	return f() + t.M()
+}
+
+func B() string {
+	return strings.ToUpper("y")
+}
+
+func leaf() {} // calls nothing: no CalleesFact

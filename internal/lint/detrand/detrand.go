@@ -29,8 +29,19 @@ var Analyzer = &analysis.Analyzer{
 		"Config.Seed, and time must be simulated, never read from the host clock.\n" +
 		"Flags calls to math/rand (and math/rand/v2) package-level functions that\n" +
 		"draw from the global source, and calls to time.Now/Since/Until.",
-	Run: run,
+	Run:       run,
+	FactTypes: []analysis.Fact{(*SummaryFact)(nil)},
 }
+
+// A SummaryFact records that a package contains ambient-nondeterminism
+// call sites; it rides the vet fact files so tooling can aggregate
+// per-package verdicts without re-running the analysis.
+type SummaryFact struct {
+	Findings int
+}
+
+// AFact marks SummaryFact as a fact type.
+func (*SummaryFact) AFact() {}
 
 // restricted matches the import paths of the packages that must stay
 // seed-deterministic. Matching is by path suffix segments so the
@@ -39,7 +50,7 @@ var restricted = regexp.MustCompile(`(^|/)internal/(simulate|sched|faultgen|work
 
 // allowedRandFuncs are the math/rand package-level functions that do
 // not touch the global source: they construct new generators, whose
-// seed provenance the seedflow analyzer polices separately.
+// seed provenance the seedtaint analyzer polices separately.
 var allowedRandFuncs = map[string]bool{
 	"New":       true,
 	"NewSource": true,
@@ -61,6 +72,14 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	if !restricted.MatchString(pass.Pkg.Path()) {
 		return nil, nil
 	}
+	count := 0
+	report := pass.Report
+	pass.Report = func(d analysis.Diagnostic) { count++; report(d) }
+	defer func() {
+		if count > 0 {
+			pass.ExportPackageFact(&SummaryFact{Findings: count})
+		}
+	}()
 	pass.Preorder(func(n ast.Node) {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {

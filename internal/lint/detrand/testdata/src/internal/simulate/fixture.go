@@ -34,7 +34,7 @@ func goodThreadedRng(rng *rand.Rand, n int) int {
 }
 
 func goodConstructors(seed int64) *rand.Rand {
-	// Constructors are allowed here; seedflow polices their arguments.
+	// Constructors are allowed here; seedtaint polices their arguments.
 	return rand.New(rand.NewSource(seed))
 }
 

@@ -23,6 +23,20 @@ import (
 	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
+)
+
+// bgplint's exit-code contract, shared by the standalone and vet
+// paths: findings and tool failures are distinguishable in CI.
+const (
+	// ExitClean means no (new) findings.
+	ExitClean = 0
+	// ExitFindings means the analyzers reported at least one finding
+	// not suppressed by a baseline.
+	ExitFindings = 1
+	// ExitFailure means the analysis itself could not run: load,
+	// typecheck, or analyzer error.
+	ExitFailure = 2
 )
 
 // listPackage is the subset of `go list -json` output the driver uses.
@@ -34,6 +48,7 @@ type listPackage struct {
 	DepOnly    bool
 	GoFiles    []string
 	ImportMap  map[string]string
+	Deps       []string
 	Error      *struct{ Err string }
 }
 
@@ -44,12 +59,20 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+
+	// Root marks packages named by the load patterns; non-root
+	// module packages are loaded only so fact-producing analyzers can
+	// summarize them for their dependents, and never report.
+	Root bool
 }
 
 // Load lists patterns (e.g. "./...") in dir, compiles export data for
-// the dependency graph, and type-checks every non-standard-library
-// target package from source. Test files are not loaded; run bgplint
-// through `go vet -vettool` to cover test packages as well.
+// the dependency graph, and type-checks every in-module package from
+// source: the pattern-named packages as diagnostic roots, plus any
+// module-local dependencies as fact-only packages, ordered so that a
+// package always follows its dependencies (fact passes see their
+// imports' summaries). Test files are not loaded; run bgplint through
+// `go vet -vettool` to cover test packages as well.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -62,7 +85,8 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	}
 
 	index := make(map[string]*listPackage)
-	var roots []*listPackage
+	roots := make(map[string]bool)
+	var order []string // go list -deps emits dependencies first
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPackage
@@ -72,28 +96,71 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			return nil, fmt.Errorf("go list output: %v", err)
 		}
 		lp := p
+		if _, dup := index[lp.ImportPath]; dup {
+			continue // overlapping patterns list a package twice
+		}
 		index[lp.ImportPath] = &lp
-		if !lp.DepOnly && !lp.Standard && !strings.HasSuffix(lp.ImportPath, ".test") {
-			roots = append(roots, &lp)
+		if lp.Standard || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		order = append(order, lp.ImportPath)
+		if !lp.DepOnly {
+			roots[lp.ImportPath] = true
 		}
 	}
 
+	// Re-order defensively: emit each package after its (loaded)
+	// dependencies even if go list's stream order ever changes.
+	sorted := topoSort(order, index)
+
 	fset := token.NewFileSet()
 	var pkgs []*Package
-	for _, root := range roots {
-		if root.Error != nil {
-			return nil, fmt.Errorf("%s: %s", root.ImportPath, root.Error.Err)
+	for _, path := range sorted {
+		lp := index[path]
+		if lp.Error != nil {
+			if !roots[path] {
+				continue
+			}
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		if len(root.GoFiles) == 0 {
+		if len(lp.GoFiles) == 0 {
 			continue
 		}
-		pkg, err := check(fset, root, index)
+		pkg, err := check(fset, lp, index)
 		if err != nil {
 			return nil, err
 		}
+		pkg.Root = roots[path]
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// topoSort orders the loadable package paths so dependencies precede
+// dependents, breaking ties by the original go list order.
+func topoSort(order []string, index map[string]*listPackage) []string {
+	var out []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		if lp, ok := index[path]; ok {
+			for _, dep := range lp.Deps {
+				if dlp, ok := index[dep]; ok && !dlp.Standard {
+					visit(dep)
+				}
+			}
+		}
+		state[path] = 2
+		out = append(out, path)
+	}
+	for _, path := range order {
+		visit(path)
+	}
+	return out
 }
 
 // check parses and type-checks one target package against the export
@@ -147,37 +214,62 @@ type Finding struct {
 	Message  string
 }
 
-// Run applies every analyzer to every package and returns the findings
-// sorted by position (file, line, column) then analyzer — a stable
-// order regardless of package load order.
+// Run applies every analyzer (plus its transitive Requires) to every
+// package, threading facts from dependencies to dependents, and
+// returns the findings sorted by position (file, line, column) then
+// analyzer — a stable order regardless of package load order — with
+// exact duplicates removed. Diagnostics are collected only from Root
+// packages and only for the analyzers named by the caller; required
+// fact passes run silently.
 func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	facts.Register(analyzers)
+	store := facts.NewStore()
+	order := analysis.Expand(analyzers)
+	requested := make(map[*analysis.Analyzer]bool, len(analyzers))
+	for _, a := range analyzers {
+		requested[a] = true
+	}
+
 	var findings []Finding
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		results := make(map[*analysis.Analyzer]interface{}, len(order))
+		for _, a := range order {
+			a := a
+			report := func(analysis.Diagnostic) {}
+			if pkg.Root && requested[a] {
+				report = func(d analysis.Diagnostic) {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Pos:      pkg.Fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				}
+			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
-				Report: func(d analysis.Diagnostic) {
-					findings = append(findings, Finding{
-						Analyzer: a.Name,
-						Pos:      pkg.Fset.Position(d.Pos),
-						Message:  d.Message,
-					})
-				},
+				Report:    report,
+				ResultOf:  results,
 			}
-			if _, err := a.Run(pass); err != nil {
+			store.BindPass(pass)
+			res, err := a.Run(pass)
+			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 			}
+			results[a] = res
 		}
 	}
-	sortFindings(findings)
-	return findings, nil
+	return sortAndDedupe(findings), nil
 }
 
-func sortFindings(fs []Finding) {
+// sortAndDedupe orders findings by (file, line, column, analyzer,
+// message) and drops exact duplicates, so output is deterministic
+// across `go list` package orderings and a package matched by two
+// patterns reports once.
+func sortAndDedupe(fs []Finding) []Finding {
 	less := func(a, b Finding) bool {
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
@@ -188,7 +280,10 @@ func sortFindings(fs []Finding) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	}
 	// Insertion sort: finding counts are tiny and this keeps the
 	// driver free of sort-helper indirection.
@@ -197,4 +292,12 @@ func sortFindings(fs []Finding) {
 			fs[j-1], fs[j] = fs[j], fs[j-1]
 		}
 	}
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
 }

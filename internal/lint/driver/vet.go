@@ -1,9 +1,12 @@
 // Vet-tool protocol support: `go vet -vettool=bgplint` invokes the
-// tool once per package with a JSON config file describing sources and
-// dependency export data, after probing it with -V=full (cache key)
-// and -flags (supported flags). This file implements that protocol the
-// way x/tools' go/analysis/unitchecker does, minus cross-package
-// facts, which the bgplint analyzers do not use.
+// tool once per package with a JSON config file describing sources,
+// dependency export data, and dependency fact files, after probing it
+// with -V=full (cache key) and -flags (supported flags). This file
+// implements that protocol the way x/tools' go/analysis/unitchecker
+// does, including cross-package facts: dependency facts are read from
+// the .vetx files named by PackageVetx, and the unit's own facts
+// (merged with its dependencies', so transitive consumers need only
+// direct entries) are gob-encoded to VetxOutput.
 package driver
 
 import (
@@ -18,8 +21,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
 )
 
 // vetConfig mirrors the fields of unitchecker.Config the go command
@@ -34,6 +39,7 @@ type vetConfig struct {
 	NonGoFiles                []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -69,33 +75,61 @@ func PrintFlags(w io.Writer) error {
 	return err
 }
 
-// RunVetUnit executes one vet unit of work: parse the cfg file,
-// type-check the package against the export data the go command
-// already built, run the analyzers, and report diagnostics. The
-// returned exit code follows unitchecker: 0 clean, 1 tool error, 2
-// diagnostics found.
+// RunVetUnit executes one vet unit of work: parse the cfg file, read
+// dependency facts from their .vetx files, type-check the package
+// against the export data the go command already built, run the
+// analyzers (fact passes always; reporting passes unless VetxOnly),
+// write the merged fact set to VetxOutput, and report diagnostics.
+//
+// Exit codes follow the bgplint contract (not unitchecker's):
+// 0 clean, 1 findings, 2 tool or load failure.
 func RunVetUnit(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
-		return 1
+		return ExitFailure
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fmt.Fprintf(stderr, "bgplint: parsing %s: %v\n", cfgFile, err)
-		return 1
+		return ExitFailure
 	}
 
-	// The go command expects the facts file to exist even though
-	// bgplint's analyzers are fact-free.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(stderr, err)
-			return 1
+	facts.Register(analyzers)
+	store := facts.NewStore()
+	deps := make([]string, 0, len(cfg.PackageVetx))
+	for dep := range cfg.PackageVetx {
+		deps = append(deps, dep)
+	}
+	sort.Strings(deps) // deterministic read order (and error reporting)
+	for _, dep := range deps {
+		vetx := cfg.PackageVetx[dep]
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing dependency facts degrade to local analysis
+		}
+		if err := store.Decode(data); err != nil {
+			fmt.Fprintf(stderr, "bgplint: %s: %v\n", vetx, err)
+			return ExitFailure
 		}
 	}
-	if cfg.VetxOnly {
-		return 0
+
+	// succeed writes the (possibly empty) fact file the go command
+	// expects before a clean early return.
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return ExitClean
+		}
+		data, err := store.Encode()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return ExitFailure
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return ExitFailure
+		}
+		return ExitClean
 	}
 
 	fset := token.NewFileSet()
@@ -104,10 +138,10 @@ func RunVetUnit(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx()
 			}
 			fmt.Fprintln(stderr, err)
-			return 1
+			return ExitFailure
 		}
 		files = append(files, f)
 	}
@@ -136,29 +170,83 @@ func RunVetUnit(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx()
 		}
 		fmt.Fprintf(stderr, "bgplint: %s: %v\n", cfg.ImportPath, err)
-		return 1
+		return ExitFailure
 	}
 
-	exit := 0
+	order := analysis.Expand(analyzers)
+	requested := make(map[*analysis.Analyzer]bool, len(analyzers))
 	for _, a := range analyzers {
+		requested[a] = true
+	}
+	// In VetxOnly mode the go command only wants this package's facts
+	// for later units; run only the fact-producing analyzers plus
+	// whatever they require for their ResultOf.
+	factNeeded := make(map[*analysis.Analyzer]bool)
+	for _, a := range order {
+		if producesFacts(a) {
+			for _, dep := range analysis.Expand([]*analysis.Analyzer{a}) {
+				factNeeded[dep] = true
+			}
+		}
+	}
+	var findings []Finding
+	results := make(map[*analysis.Analyzer]interface{}, len(order))
+	for _, a := range order {
+		a := a
+		if cfg.VetxOnly && !factNeeded[a] {
+			continue
+		}
+		report := func(analysis.Diagnostic) {}
+		if !cfg.VetxOnly && requested[a] {
+			report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       tpkg,
 			TypesInfo: info,
-			Report: func(d analysis.Diagnostic) {
-				fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
-				exit = 2
-			},
+			Report:    report,
+			ResultOf:  results,
 		}
-		if _, err := a.Run(pass); err != nil {
+		store.BindPass(pass)
+		res, err := a.Run(pass)
+		if err != nil {
 			fmt.Fprintf(stderr, "bgplint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
-			return 1
+			return ExitFailure
+		}
+		results[a] = res
+	}
+
+	exit := writeVetx()
+	if exit != ExitClean {
+		return exit
+	}
+	for _, f := range sortAndDedupe(findings) {
+		fmt.Fprintf(stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// producesFacts reports whether a (or anything it requires) declares
+// fact types.
+func producesFacts(a *analysis.Analyzer) bool {
+	for _, dep := range analysis.Expand([]*analysis.Analyzer{a}) {
+		if len(dep.FactTypes) > 0 {
+			return true
 		}
 	}
-	return exit
+	return false
 }

@@ -1,0 +1,389 @@
+// Package errcode defines the bgplint analyzer that cross-checks
+// ERRCODE usage in the pipeline packages against the Intrepid catalog
+// (internal/errcat) at analysis time. The lint binary links the real
+// catalog, so the checks can never drift from the data they guard.
+//
+// In internal/simulate, internal/faultgen, and internal/report it
+// reports:
+//
+//   - a record emitted with Severity SevFatal whose ErrCode constant is
+//     not one of the catalog's 82 FATAL types;
+//   - a catalog ERRCODE emitted with a non-FATAL severity (the catalog
+//     is, by construction, the FATAL population — even the two
+//     false-fatal alarms carry severity FATAL);
+//   - an errcat.Code composite literal whose Class or Interrupting
+//     contradicts the catalog entry of the same name (ground-truth
+//     drift);
+//   - any code-shaped string constant ("_bgp_err_…", "bg_…",
+//     ALL_CAPS_WITH_UNDERSCORES) that is not a catalog name — the typo
+//     check for Lookup arguments and ad-hoc comparisons. Free-form
+//     strings ("boot_progress") are not code-shaped and never flagged.
+//
+// Functions that forward a string parameter into an ErrCode field are
+// emitters: the parameter index is exported as a CodeParamFact
+// (propagated through the call graph), so a literal passed to an
+// emitter in another package is validated against the catalog too.
+package errcode
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+
+	"repro/internal/errcat"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc: "cross-check ERRCODE strings and severity/class pairings against the Intrepid catalog\n\n" +
+		"Every ERRCODE constant emitted as FATAL by simulate, faultgen, or\n" +
+		"report must name one of the catalog's 82 types; catalog codes must be\n" +
+		"emitted FATAL; errcat.Code literals must not contradict the catalog's\n" +
+		"ground truth. String parameters that flow into ErrCode fields are\n" +
+		"tracked as facts, so the checks follow helper calls across packages.",
+	Run:       run,
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*CodeParamFact)(nil)},
+}
+
+// A CodeParamFact marks a function whose listed parameters (0-based)
+// are used as ERRCODE strings: literal arguments there must be catalog
+// names.
+type CodeParamFact struct {
+	Params []int
+}
+
+// AFact marks CodeParamFact as a fact type.
+func (*CodeParamFact) AFact() {}
+
+// restricted matches the packages whose emissions are checked; the
+// catalog-owning errcat package itself is deliberately outside it (its
+// format strings would trip the shape check).
+var restricted = regexp.MustCompile(`(^|/)internal/(simulate|faultgen|report)(/|$)`)
+
+// codeShape matches strings that look like ERRCODE names: the Blue
+// Gene/P kernel prefixes and the ALL_CAPS_WITH_UNDERSCORES families.
+// It gates reporting in ERRCODE contexts (record literals, errcat.Code
+// literals, emitter arguments).
+var codeShape = regexp.MustCompile(`^(_bgp_|bg_)[a-z0-9_]+$|^[A-Z][A-Z0-9]*(_[A-Z0-9]+)+$`)
+
+// sweepShape is the stricter shape the context-free sweep uses: only
+// the kernel prefixes are distinctive enough to claim outside an
+// ERRCODE position. ALL_CAPS names are shared with RAS message IDs
+// (MMCS_INFO_01) and ordinary constants, so a bare uppercase literal
+// is not evidence of an ERRCODE.
+var sweepShape = regexp.MustCompile(`^(_bgp_|bg_)[a-z0-9_]+$`)
+
+// catalog is the linked-in ground truth.
+var catalog = errcat.Intrepid()
+
+type checker struct {
+	pass    *analysis.Pass
+	graph   *callgraph.Result
+	sinks   map[*types.Func][]int // package-local ERRCODE params
+	params  map[*types.Func]map[*types.Var]int
+	handled map[token.Pos]bool // string positions checked in context
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:    pass,
+		graph:   pass.ResultOf[callgraph.Analyzer].(*callgraph.Result),
+		sinks:   make(map[*types.Func][]int),
+		params:  make(map[*types.Func]map[*types.Var]int),
+		handled: make(map[token.Pos]bool),
+	}
+
+	// Fact fixpoint: a parameter used as an ErrCode field value — or
+	// forwarded to another emitter's code parameter — makes its
+	// function an emitter. Runs in every package so helpers anywhere
+	// are summarized.
+	worklist := append([]*callgraph.Node(nil), c.graph.Order...)
+	for len(worklist) > 0 {
+		node := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		if c.findEmitterParams(node) {
+			worklist = append(worklist, c.graph.CallersOf[node.Fn]...)
+		}
+	}
+	for fn, idxs := range c.sinks {
+		sort.Ints(idxs)
+		pass.ExportObjectFact(fn, &CodeParamFact{Params: idxs})
+	}
+
+	// Reporting is gated to the pipeline packages.
+	if !restricted.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			c.checkRecordLit(n)
+			c.checkCodeLit(n)
+		case *ast.CallExpr:
+			c.checkEmitterCall(n)
+		}
+	})
+	// The shape sweep runs last so in-context strings stay claimed by
+	// the richer checks above.
+	pass.Preorder(func(n ast.Node) {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || c.handled[lit.Pos()] {
+			return
+		}
+		if s, ok := c.stringVal(lit); ok && sweepShape.MatchString(s) {
+			if _, known := catalog.Lookup(s); !known {
+				c.pass.Reportf(lit.Pos(), "ERRCODE %q is not in the Intrepid catalog (errcode)", s)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// codeParams resolves a callee's ERRCODE parameter indices: local
+// fixpoint state for this package, an imported fact otherwise.
+func (c *checker) codeParams(fn *types.Func) []int {
+	if fn.Pkg() == c.pass.Pkg {
+		return c.sinks[fn]
+	}
+	var fact CodeParamFact
+	if c.pass.ImportObjectFact(fn, &fact) {
+		return fact.Params
+	}
+	return nil
+}
+
+// findEmitterParams grows the sink set of node.Fn; reports change.
+func (c *checker) findEmitterParams(node *callgraph.Node) bool {
+	changed := false
+	promote := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if idx, isParam := c.paramIndex(node.Fn, v); isParam {
+			if c.addSink(node.Fn, idx) {
+				changed = true
+			}
+		}
+	}
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "ErrCode" {
+					promote(kv.Value)
+				}
+			}
+		}
+		return true
+	})
+	for _, call := range node.Calls {
+		for _, idx := range c.codeParams(call.Callee) {
+			if idx < len(call.Site.Args) {
+				promote(call.Site.Args[idx])
+			}
+		}
+	}
+	return changed
+}
+
+func (c *checker) addSink(fn *types.Func, idx int) bool {
+	for _, have := range c.sinks[fn] {
+		if have == idx {
+			return false
+		}
+	}
+	c.sinks[fn] = append(c.sinks[fn], idx)
+	return true
+}
+
+func (c *checker) paramIndex(fn *types.Func, v *types.Var) (int, bool) {
+	m, ok := c.params[fn]
+	if !ok {
+		m = make(map[*types.Var]int)
+		if sig, sok := fn.Type().(*types.Signature); sok {
+			for i := 0; i < sig.Params().Len(); i++ {
+				m[sig.Params().At(i)] = i
+			}
+		}
+		c.params[fn] = m
+	}
+	idx, ok := m[v]
+	return idx, ok
+}
+
+// checkRecordLit validates composite literals with an ErrCode field
+// (raslog.Record and friends) against the catalog, using the sibling
+// Severity field as context.
+func (c *checker) checkRecordLit(cl *ast.CompositeLit) {
+	var codeExpr ast.Expr
+	var code string
+	sevName := ""
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "ErrCode":
+			if s, ok := c.stringVal(kv.Value); ok {
+				codeExpr, code = kv.Value, s
+			}
+		case "Severity":
+			sevName = c.constName(kv.Value, "Sev")
+		}
+	}
+	if codeExpr == nil {
+		return
+	}
+	c.handled[codeExpr.Pos()] = true
+	_, known := catalog.Lookup(code)
+	switch {
+	case sevName == "SevFatal" && !known:
+		c.pass.Reportf(codeExpr.Pos(), "ERRCODE %q is not in the Intrepid catalog (errcode)", code)
+	case sevName != "" && sevName != "SevFatal" && known:
+		c.pass.Reportf(codeExpr.Pos(),
+			"catalog code %q is a FATAL ERRCODE but is emitted with severity %s (errcode)", code, sevName)
+	case sevName == "" && !known && codeShape.MatchString(code):
+		c.pass.Reportf(codeExpr.Pos(), "ERRCODE %q is not in the Intrepid catalog (errcode)", code)
+	}
+}
+
+// checkCodeLit validates errcat.Code composite literals: duplicating a
+// catalog entry with different ground truth is drift.
+func (c *checker) checkCodeLit(cl *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Code" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "errcat" {
+		return
+	}
+	var name string
+	var nameExpr, classExpr, intExpr ast.Expr
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			if s, ok := c.stringVal(kv.Value); ok {
+				name, nameExpr = s, kv.Value
+			}
+		case "Class":
+			classExpr = kv.Value
+		case "Interrupting":
+			intExpr = kv.Value
+		}
+	}
+	if nameExpr == nil {
+		return
+	}
+	c.handled[nameExpr.Pos()] = true
+	entry, known := catalog.Lookup(name)
+	if !known {
+		if codeShape.MatchString(name) {
+			c.pass.Reportf(nameExpr.Pos(), "ERRCODE %q is not in the Intrepid catalog (errcode)", name)
+		}
+		return
+	}
+	if classExpr != nil {
+		if got := c.constName(classExpr, "Class"); got != "" {
+			want := "ClassSystem"
+			if entry.Class == errcat.ClassApplication {
+				want = "ClassApplication"
+			}
+			if got != want {
+				c.pass.Reportf(classExpr.Pos(),
+					"code %q drifts from the Intrepid catalog: Class there is %s (errcode)", name, entry.Class)
+			}
+		}
+	}
+	if intExpr != nil {
+		if tv, ok := c.pass.TypesInfo.Types[intExpr]; ok && tv.Value != nil && tv.Value.Kind() == constant.Bool {
+			if constant.BoolVal(tv.Value) != entry.Interrupting {
+				c.pass.Reportf(intExpr.Pos(),
+					"code %q drifts from the Intrepid catalog: Interrupting there is %v (errcode)", name, entry.Interrupting)
+			}
+		}
+	}
+}
+
+// checkEmitterCall validates constant-string arguments in ERRCODE
+// positions of emitter calls: those ARE codes, so any non-catalog
+// value — shaped or not — is a finding.
+func (c *checker) checkEmitterCall(call *ast.CallExpr) {
+	fn := lintutil.Callee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	for _, idx := range c.codeParams(fn) {
+		if idx >= len(call.Args) {
+			continue
+		}
+		s, ok := c.stringVal(call.Args[idx])
+		if !ok {
+			continue
+		}
+		c.handled[call.Args[idx].Pos()] = true
+		if _, known := catalog.Lookup(s); !known {
+			c.pass.Reportf(call.Args[idx].Pos(),
+				"argument #%d to %s is ERRCODE %q, which is not in the Intrepid catalog (errcode)",
+				idx+1, fn.Name(), s)
+		}
+	}
+}
+
+// stringVal resolves e as a compile-time string constant (literal or
+// named constant reference).
+func (c *checker) stringVal(e ast.Expr) (string, bool) {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// constName resolves e as a reference to a named constant whose name
+// starts with prefix ("Sev…", "Class…") and returns that name.
+func (c *checker) constName(e ast.Expr, prefix string) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj, ok := c.pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok || len(obj.Name()) < len(prefix) || obj.Name()[:len(prefix)] != prefix {
+		return ""
+	}
+	return obj.Name()
+}

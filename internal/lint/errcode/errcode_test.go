@@ -1,0 +1,28 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errcode"
+	"repro/internal/lint/linttest"
+)
+
+func TestErrcode(t *testing.T) {
+	linttest.Run(t, "testdata", errcode.Analyzer, "internal/simulate")
+}
+
+// TestCodeParamFactExport checks the emitter fixture in isolation:
+// both the direct ErrCode-field use and the one-hop forward must yield
+// a CodeParamFact on parameter 0.
+func TestCodeParamFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", errcode.Analyzer, "internal/faultgen")
+	for _, fn := range []string{"Emit", "EmitDefault"} {
+		var f errcode.CodeParamFact
+		if !store.ImportObjectFactByPath("internal/faultgen", fn, &f) {
+			t.Fatalf("no CodeParamFact exported for faultgen.%s", fn)
+		}
+		if len(f.Params) != 1 || f.Params[0] != 0 {
+			t.Errorf("CodeParamFact(%s) = %v, want [0]", fn, f.Params)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Fixture mirror of internal/errcat's types: errcode keys on the
+// package name "errcat", the Code type name, and the Class* constant
+// names. The catalog itself is NOT mirrored — the analyzer links the
+// real Intrepid() catalog.
+package errcat
+
+type Class int
+
+const (
+	ClassSystem Class = iota
+	ClassApplication
+)
+
+type Code struct {
+	Name         string
+	Class        Class
+	Interrupting bool
+	Weight       float64
+}

@@ -1,0 +1,17 @@
+// Fixture dependency for the errcode cross-package test: Emit forwards
+// its code parameter into an ErrCode field, so analyzing this package
+// exports a CodeParamFact{Params: [0]} that the importing fixture's
+// call sites are checked against.
+package faultgen
+
+import "raslog"
+
+func Emit(code string, sev raslog.Severity) raslog.Record {
+	return raslog.Record{ErrCode: code, Severity: sev}
+}
+
+// EmitDefault adds a propagation hop: its parameter reaches the
+// ErrCode field through Emit.
+func EmitDefault(code string) raslog.Record {
+	return Emit(code, raslog.SevFatal)
+}

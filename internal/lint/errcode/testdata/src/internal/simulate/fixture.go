@@ -1,0 +1,75 @@
+// Fixture for the errcode analyzer: ERRCODE strings and severity /
+// class pairings in the pipeline packages must agree with the real
+// Intrepid catalog linked into the lint binary.
+package simulate
+
+import (
+	"errcat"
+	"raslog"
+
+	"internal/faultgen"
+)
+
+func goodFatal() raslog.Record {
+	return raslog.Record{ErrCode: "_bgp_err_kernel_panic_00", Severity: raslog.SevFatal}
+}
+
+func goodNamedFamily() raslog.Record {
+	return raslog.Record{ErrCode: "MMCS_BOOT_FAILURE_3", Severity: raslog.SevFatal}
+}
+
+// Free-form noise codes are not code-shaped and carry no severity
+// obligation.
+func goodNoise() raslog.Record {
+	return raslog.Record{ErrCode: "boot_progress", Severity: raslog.SevInfo}
+}
+
+func badUnknownFatal() raslog.Record {
+	return raslog.Record{ErrCode: "_bgp_err_kernel_panic_99", Severity: raslog.SevFatal} // want `ERRCODE "_bgp_err_kernel_panic_99" is not in the Intrepid catalog`
+}
+
+func badSeverity() raslog.Record {
+	return raslog.Record{ErrCode: "BULK_POWER_FATAL", Severity: raslog.SevWarning} // want `catalog code "BULK_POWER_FATAL" is a FATAL ERRCODE but is emitted with severity SevWarning`
+}
+
+func goodCodeLit() errcat.Code {
+	return errcat.Code{Name: "BULK_POWER_FATAL", Class: errcat.ClassSystem, Interrupting: false}
+}
+
+func badCodeDrift() errcat.Code {
+	return errcat.Code{Name: "BULK_POWER_FATAL", Class: errcat.ClassApplication, Interrupting: true} // want `code "BULK_POWER_FATAL" drifts from the Intrepid catalog: Class there is system` `code "BULK_POWER_FATAL" drifts from the Intrepid catalog: Interrupting there is false`
+}
+
+// A shaped string anywhere in a pipeline package must be a catalog
+// name — the typo check for ad-hoc comparisons and Lookup arguments.
+func badShapedTypo(got string) bool {
+	return got == "_bgp_err_tore_fatal_sum" // want `ERRCODE "_bgp_err_tore_fatal_sum" is not in the Intrepid catalog`
+}
+
+func goodShapedKnown(got string) bool {
+	return got == "_bgp_err_torus_fatal_sum"
+}
+
+// RAS message IDs share the ALL_CAPS shape but are a different
+// namespace: outside an ErrCode position the sweep must ignore them.
+func goodMsgID() string {
+	return "MMCS_INFO_01"
+}
+
+// Emitter calls resolve through CodeParamFact, including across the
+// package boundary and through a propagation hop.
+func badEmitterCall() raslog.Record {
+	return faultgen.Emit("MMCS_BOOT_FAILURE_9", raslog.SevFatal) // want `argument #1 to Emit is ERRCODE "MMCS_BOOT_FAILURE_9", which is not in the Intrepid catalog`
+}
+
+func goodEmitterCall() raslog.Record {
+	return faultgen.Emit("MMCS_BOOT_FAILURE_4", raslog.SevFatal)
+}
+
+func badEmitterHop() raslog.Record {
+	return faultgen.EmitDefault("CARD_POWER_FAULT_7") // want `argument #1 to EmitDefault is ERRCODE "CARD_POWER_FAULT_7", which is not in the Intrepid catalog`
+}
+
+func goodEmitterHop() raslog.Record {
+	return faultgen.EmitDefault("CARD_POWER_FAULT_2")
+}

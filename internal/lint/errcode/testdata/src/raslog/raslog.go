@@ -1,0 +1,21 @@
+// Fixture mirror of internal/raslog: errcode keys on the ErrCode and
+// Severity field names and the Sev* constant names, which this mirror
+// reproduces.
+package raslog
+
+type Severity int
+
+const (
+	SevUnknown Severity = iota
+	SevDebug
+	SevTrace
+	SevInfo
+	SevWarning
+	SevError
+	SevFatal
+)
+
+type Record struct {
+	ErrCode  string
+	Severity Severity
+}

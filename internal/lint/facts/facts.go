@@ -1,0 +1,196 @@
+// Package facts is the fact store behind the bgplint framework's
+// cross-package analysis: a map from (package path, object path, fact
+// type) to fact values, with a gob serialization used by the vet-tool
+// protocol (facts ride in the .vetx files the go command threads
+// between units) and shared in-process by the standalone driver and
+// the linttest harness.
+//
+// Facts are keyed by *paths*, not object identity, because the same
+// package is materialized twice during analysis: once type-checked
+// from source (when it is the unit under analysis) and once imported
+// from export data (when a dependent package is). A path key resolves
+// against either instance.
+package facts
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// key identifies one fact: the owning package, the object path within
+// it ("" for package-level facts), and the concrete fact type name.
+type key struct {
+	pkg string
+	obj string
+	typ reflect.Type
+}
+
+// Store holds the facts accumulated across an analysis run.
+type Store struct {
+	m map[key]analysis.Fact
+}
+
+// NewStore returns an empty fact store.
+func NewStore() *Store { return &Store{m: make(map[key]analysis.Fact)} }
+
+// ObjectPath returns a stable intra-package path for obj: "Name" for
+// package-level objects, "Recv.Name" for methods. ok is false for
+// locals, struct fields, and anything else a fact cannot usefully
+// attach to across packages.
+func ObjectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, isFn := obj.(*types.Func); isFn {
+		if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			named, isNamed := t.(*types.Named)
+			if !isNamed {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// ExportObjectFact records fact for obj. Exports on objects facts
+// cannot attach to (locals, fields) are dropped silently.
+func (s *Store) ExportObjectFact(obj types.Object, fact analysis.Fact) {
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return
+	}
+	s.m[key{obj.Pkg().Path(), path, reflect.TypeOf(fact)}] = fact
+}
+
+// ImportObjectFact copies the stored fact for obj into fact and
+// reports whether one existed.
+func (s *Store) ImportObjectFact(obj types.Object, fact analysis.Fact) bool {
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return false
+	}
+	got, ok := s.m[key{obj.Pkg().Path(), path, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// ImportObjectFactByPath is ImportObjectFact keyed by explicit paths,
+// for tests and tools that have no types.Object in hand.
+func (s *Store) ImportObjectFactByPath(pkgPath, objPath string, fact analysis.Fact) bool {
+	got, ok := s.m[key{pkgPath, objPath, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// ExportPackageFact records fact for the package with the given path.
+func (s *Store) ExportPackageFact(pkgPath string, fact analysis.Fact) {
+	s.m[key{pkgPath, "", reflect.TypeOf(fact)}] = fact
+}
+
+// ImportPackageFact copies the stored fact for pkg into fact and
+// reports whether one existed.
+func (s *Store) ImportPackageFact(pkg *types.Package, fact analysis.Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	got, ok := s.m[key{pkg.Path(), "", reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// BindPass wires the pass's fact callbacks to this store.
+func (s *Store) BindPass(pass *analysis.Pass) {
+	pass.ImportObjectFact = s.ImportObjectFact
+	pass.ExportObjectFact = s.ExportObjectFact
+	pass.ImportPackageFact = s.ImportPackageFact
+	pass.ExportPackageFact = func(fact analysis.Fact) {
+		s.ExportPackageFact(pass.Pkg.Path(), fact)
+	}
+}
+
+// Len returns the number of stored facts.
+func (s *Store) Len() int { return len(s.m) }
+
+// gobFact is the wire form of one fact.
+type gobFact struct {
+	Pkg  string
+	Obj  string
+	Fact analysis.Fact
+}
+
+// Register registers every fact type of every analyzer (and its
+// transitive Requires) with gob, so stores can be serialized through
+// the vet protocol. Safe to call repeatedly.
+func Register(analyzers []*analysis.Analyzer) {
+	for _, a := range analysis.Expand(analyzers) {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// Encode serializes the store deterministically (sorted by package,
+// object, then fact type name).
+func (s *Store) Encode() ([]byte, error) {
+	list := make([]gobFact, 0, len(s.m))
+	for k, f := range s.m {
+		list = append(list, gobFact{Pkg: k.pkg, Obj: k.obj, Fact: f})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i], list[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return reflect.TypeOf(a.Fact).String() < reflect.TypeOf(b.Fact).String()
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(list); err != nil {
+		return nil, fmt.Errorf("facts: encode: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges serialized facts into the store. Empty input (the
+// go command probes tools with empty vetx files) is a no-op.
+func (s *Store) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var list []gobFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&list); err != nil {
+		return fmt.Errorf("facts: decode: %v", err)
+	}
+	for _, gf := range list {
+		if gf.Fact == nil {
+			continue
+		}
+		s.m[key{gf.Pkg, gf.Obj, reflect.TypeOf(gf.Fact)}] = gf.Fact
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package facts
+
+import (
+	"encoding/gob"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+type testFact struct{ N int }
+
+func (*testFact) AFact() {}
+
+type pkgFact struct{ Tag string }
+
+func (*pkgFact) AFact() {}
+
+func checkSrc(t *testing.T, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := new(types.Config).Check("example.com/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+const src = `package p
+type T struct{}
+func (t T) M() {}
+func F(x int) {}
+`
+
+func TestObjectPath(t *testing.T) {
+	pkg := checkSrc(t, src)
+	fObj := pkg.Scope().Lookup("F")
+	if p, ok := ObjectPath(fObj); !ok || p != "F" {
+		t.Errorf("ObjectPath(F) = %q, %v", p, ok)
+	}
+	tObj := pkg.Scope().Lookup("T").(*types.TypeName)
+	m, _, _ := types.LookupFieldOrMethod(tObj.Type(), true, pkg, "M")
+	if p, ok := ObjectPath(m); !ok || p != "T.M" {
+		t.Errorf("ObjectPath(T.M) = %q, %v", p, ok)
+	}
+	// Parameters are not package-level: no path.
+	sig := fObj.Type().(*types.Signature)
+	if _, ok := ObjectPath(sig.Params().At(0)); ok {
+		t.Error("ObjectPath of a parameter should fail")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	gob.Register(&testFact{})
+	gob.Register(&pkgFact{})
+
+	pkg := checkSrc(t, src)
+	fObj := pkg.Scope().Lookup("F")
+
+	s := NewStore()
+	s.ExportObjectFact(fObj, &testFact{N: 7})
+	s.ExportPackageFact(pkg.Path(), &pkgFact{Tag: "deterministic"})
+
+	var of testFact
+	if !s.ImportObjectFact(fObj, &of) || of.N != 7 {
+		t.Fatalf("ImportObjectFact = %+v", of)
+	}
+	var pf pkgFact
+	if !s.ImportPackageFact(pkg, &pf) || pf.Tag != "deterministic" {
+		t.Fatalf("ImportPackageFact = %+v", pf)
+	}
+
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	// The decoded store resolves the same facts: re-check the package
+	// from scratch so object identity differs but paths match.
+	pkg2 := checkSrc(t, src)
+	var of2 testFact
+	if !s2.ImportObjectFact(pkg2.Scope().Lookup("F"), &of2) || of2.N != 7 {
+		t.Fatalf("decoded ImportObjectFact = %+v", of2)
+	}
+	var pf2 pkgFact
+	if !s2.ImportPackageFact(pkg2, &pf2) || pf2.Tag != "deterministic" {
+		t.Fatalf("decoded ImportPackageFact = %+v", pf2)
+	}
+	if err := s2.Decode(nil); err != nil {
+		t.Fatalf("Decode(empty) = %v", err)
+	}
+}
+
+func TestMissingFact(t *testing.T) {
+	pkg := checkSrc(t, src)
+	s := NewStore()
+	var f testFact
+	if s.ImportObjectFact(pkg.Scope().Lookup("F"), &f) {
+		t.Error("ImportObjectFact on empty store succeeded")
+	}
+	if s.ImportPackageFact(pkg, &pkgFact{}) {
+		t.Error("ImportPackageFact on empty store succeeded")
+	}
+}
+
+func TestExpandOrder(t *testing.T) {
+	base := &analysis.Analyzer{Name: "base"}
+	mid := &analysis.Analyzer{Name: "mid", Requires: []*analysis.Analyzer{base}}
+	top := &analysis.Analyzer{Name: "top", Requires: []*analysis.Analyzer{mid, base}}
+	order := analysis.Expand([]*analysis.Analyzer{top, base})
+	if len(order) != 3 || order[0] != base || order[1] != mid || order[2] != top {
+		names := make([]string, len(order))
+		for i, a := range order {
+			names[i] = a.Name
+		}
+		t.Errorf("Expand order = %v, want [base mid top]", names)
+	}
+}

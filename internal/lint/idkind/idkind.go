@@ -1,0 +1,739 @@
+// Package idkind defines the bgplint analyzer that type-checks the
+// repo's *domain index spaces*. Blue Gene/P entities are addressed by
+// small integers in several incompatible spaces — rack (0–39), global
+// midplane (0–79), node card within a midplane (0–15), global compute
+// node (0–40959) — plus job and partition identifiers, and Go's `int`
+// happily lets a rack index flow into a midplane slot. idkind infers a
+// Kind for integer expressions and flags cross-kind assignments,
+// comparisons, container indexing, composite-literal fields, and call
+// arguments.
+//
+// Inference is deliberately conservative (Unknown never reports):
+//   - names: an identifier, field, or function mentioning rack /
+//     midplane (mp) / nodecard (nc) / node / job / partition carries
+//     that kind; count-ish names (numRacks, nodesPerCard, rackCount)
+//     carry none.
+//   - geometry constants: a bound from the bgp package (NumRacks,
+//     NumMidplanes, NodeCardsPerMidplane, NumNodes) gives loop
+//     variables and comparisons the corresponding kind, so
+//     `for mp := 0; mp < bgp.NumRacks` is a finding, not an inference.
+//   - conversions: mp / bgp.MidplanesPerRack is a rack;
+//     rack * bgp.MidplanesPerRack (+ j) is a midplane; adding or
+//     subtracting a constant preserves the kind.
+//   - containers: racks := make([]T, bgp.NumRacks), a perMidplane /
+//     byRack name, or a [80]T array type fixes the index space of the
+//     subscript.
+//
+// Parameter kinds inferred from names are exported as a
+// ParamKindsFact, so a call site in another package that passes a rack
+// where a midplane parameter is declared is flagged there.
+package idkind
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "idkind",
+	Doc: "flag integer expressions that mix Blue Gene/P index spaces (rack, midplane, node card, node, job, partition)\n\n" +
+		"Index kinds are inferred from names, bgp geometry constants, and\n" +
+		"recognized conversion arithmetic; assignments, comparisons, container\n" +
+		"subscripts, composite-literal fields, and call arguments that mix two\n" +
+		"known kinds are reported. Parameter kinds are exported as facts so the\n" +
+		"check crosses package boundaries.",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*ParamKindsFact)(nil)},
+}
+
+// Kind is one domain index space.
+type Kind uint8
+
+const (
+	Unknown Kind = iota
+	Rack
+	Midplane
+	NodeCard
+	Node
+	Job
+	Partition
+)
+
+var kindNames = [...]string{"unknown", "rack", "midplane", "node-card", "node", "job", "partition"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// A ParamKindsFact records the name-inferred index kind of each
+// parameter of a function, aligned by position (Unknown where no kind
+// was inferred). Exported only when at least one parameter has a kind.
+type ParamKindsFact struct {
+	Kinds []Kind
+}
+
+// AFact marks ParamKindsFact as a fact type.
+func (*ParamKindsFact) AFact() {}
+
+func (f *ParamKindsFact) String() string {
+	parts := make([]string, len(f.Kinds))
+	for i, k := range f.Kinds {
+		parts[i] = k.String()
+	}
+	return "paramkinds(" + strings.Join(parts, ",") + ")"
+}
+
+// boundConsts maps bgp geometry constants that bound an index space to
+// that space's kind; matching is by (package named "bgp", const name),
+// so the testdata mirror of the geometry package participates too.
+var boundConsts = map[string]Kind{
+	"NumRacks":             Rack,
+	"NumMidplanes":         Midplane,
+	"NodeCardsPerMidplane": NodeCard,
+	"NumNodes":             Node,
+}
+
+// arrayLenKinds maps distinctive array lengths to the index space they
+// imply. Only the unambiguous lengths participate: 40 and 16 are too
+// common ([16]byte digests, ...) to claim.
+var arrayLenKinds = map[int64]Kind{
+	80:    Midplane,
+	40960: Node,
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// varKinds holds index kinds established by loop bounds, range
+	// statements, and := bindings, for variables whose names say
+	// nothing themselves.
+	varKinds map[types.Object]Kind
+	// containerKeys holds the index space of a slice or map subscript,
+	// established by make(..., bgp.NumX) bindings.
+	containerKeys map[types.Object]Kind
+	// paramKinds caches name-inferred parameter kinds of package-local
+	// functions.
+	paramKinds map[*types.Func][]Kind
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:          pass,
+		varKinds:      make(map[types.Object]Kind),
+		containerKeys: make(map[types.Object]Kind),
+		paramKinds:    make(map[*types.Func][]Kind),
+	}
+	c.bindAndExport()
+	c.check()
+	return nil, nil
+}
+
+// bindAndExport is the inference pre-pass: it records loop-variable
+// and container bindings for the whole package and exports parameter
+// kind facts, before any checking reads them.
+func (c *checker) bindAndExport() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				c.exportParamKinds(n)
+			case *ast.ForStmt:
+				c.bindForLoop(n)
+			case *ast.RangeStmt:
+				c.bindRange(n)
+			case *ast.AssignStmt:
+				c.bindAssign(n.Lhs, n.Rhs)
+			case *ast.ValueSpec:
+				idents := make([]ast.Expr, len(n.Names))
+				for i, id := range n.Names {
+					idents[i] = id
+				}
+				c.bindAssign(idents, n.Values)
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) exportParamKinds(fd *ast.FuncDecl) {
+	fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	kinds := make([]Kind, sig.Params().Len())
+	any := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if !isIntType(p.Type()) {
+			continue
+		}
+		if k := nameKind(p.Name()); k != Unknown {
+			kinds[i] = k
+			any = true
+		}
+	}
+	c.paramKinds[fn] = kinds
+	if any {
+		c.pass.ExportObjectFact(fn, &ParamKindsFact{Kinds: kinds})
+	}
+}
+
+// bindForLoop gives `for i := 0; i < bgp.NumMidplanes; i++` loop
+// variables the bound's kind — but only when the variable's own name
+// is silent, so a mis-named loop (`for rack := 0; rack < NumMidplanes`)
+// stays a finding rather than becoming an inference.
+func (c *checker) bindForLoop(fs *ast.ForStmt) {
+	as, ok := fs.Init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || nameKind(id.Name) != Unknown || countish(id.Name) {
+		return
+	}
+	cond, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return
+	}
+	cx, ok := cond.X.(*ast.Ident)
+	if !ok || c.objOf(cx) == nil || c.objOf(cx) != c.objOf(id) {
+		return
+	}
+	if k := c.kindOf(cond.Y); k != Unknown {
+		c.varKinds[c.objOf(id)] = k
+	}
+}
+
+func (c *checker) bindRange(rs *ast.RangeStmt) {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || nameKind(id.Name) != Unknown || countish(id.Name) {
+		return
+	}
+	obj := c.objOf(id)
+	if obj == nil {
+		return
+	}
+	if k := c.containerKeyKind(rs.X); k != Unknown {
+		c.varKinds[obj] = k
+	}
+}
+
+// bindAssign propagates kinds into silent names: `i := rack` makes i a
+// rack; `xs := make([]T, bgp.NumRacks)` makes xs rack-subscripted.
+func (c *checker) bindAssign(lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.objOf(id)
+		if obj == nil {
+			continue
+		}
+		if k := c.makeKeyKind(rhs[i]); k != Unknown {
+			if containerNameKind(id.Name) == Unknown {
+				c.containerKeys[obj] = k
+			}
+			continue
+		}
+		if nameKind(id.Name) != Unknown || countish(id.Name) {
+			continue
+		}
+		if _, bound := c.varKinds[obj]; bound {
+			continue
+		}
+		if k := c.kindOf(rhs[i]); k != Unknown {
+			c.varKinds[obj] = k
+		}
+	}
+}
+
+// makeKeyKind recognizes make([]T, K) / make([]T, 0, K) with a
+// kind-bearing capacity and returns the container's subscript kind.
+func (c *checker) makeKeyKind(e ast.Expr) Kind {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return Unknown
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return Unknown
+	}
+	if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return Unknown
+	}
+	if _, isSlice := c.pass.TypesInfo.TypeOf(call.Args[0]).(*types.Slice); !isSlice {
+		return Unknown
+	}
+	for _, sz := range call.Args[1:] {
+		if k := c.kindOf(sz); k != Unknown {
+			return k
+		}
+	}
+	return Unknown
+}
+
+// check is the reporting pass.
+func (c *checker) check() {
+	c.pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return
+			}
+			for i := range n.Lhs {
+				c.checkPair(n.Lhs[i], n.Rhs[i], "assigning a %s value to a %s variable (idkind)")
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return
+			}
+			for i := range n.Names {
+				c.checkPair(n.Names[i], n.Values[i], "assigning a %s value to a %s variable (idkind)")
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				c.checkCompare(n)
+			}
+		case *ast.IndexExpr:
+			c.checkIndex(n)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		}
+	})
+}
+
+// checkPair reports when dst and src are integer expressions of two
+// different known kinds. The format receives (src kind, dst kind).
+func (c *checker) checkPair(dst, src ast.Expr, format string) {
+	if !c.isIntExpr(dst) || !c.isIntExpr(src) {
+		return
+	}
+	dk, sk := c.kindOf(dst), c.kindOf(src)
+	if dk == Unknown || sk == Unknown || dk == sk {
+		return
+	}
+	c.pass.Reportf(dst.Pos(), format, sk, dk)
+}
+
+func (c *checker) checkCompare(be *ast.BinaryExpr) {
+	if !c.isIntExpr(be.X) || !c.isIntExpr(be.Y) {
+		return
+	}
+	xk, yk := c.kindOf(be.X), c.kindOf(be.Y)
+	if xk == Unknown || yk == Unknown || xk == yk {
+		return
+	}
+	c.pass.Reportf(be.Pos(), "cross-kind comparison: %s vs %s (idkind)", xk, yk)
+}
+
+func (c *checker) checkIndex(ie *ast.IndexExpr) {
+	if !c.isIntExpr(ie.Index) {
+		return
+	}
+	ck := c.containerKeyKind(ie.X)
+	ik := c.kindOf(ie.Index)
+	if ck == Unknown || ik == Unknown || ck == ik {
+		return
+	}
+	c.pass.Reportf(ie.Index.Pos(), "indexing a %s-keyed container with a %s index (idkind)", ck, ik)
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fn := lintutil.Callee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	kinds := c.paramKindsOf(fn)
+	if kinds == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	n := len(call.Args)
+	if n > len(kinds) {
+		n = len(kinds)
+	}
+	if sig.Variadic() && n > len(kinds)-1 {
+		n = len(kinds) - 1 // the variadic slot aggregates; skip it
+	}
+	for i := 0; i < n; i++ {
+		if kinds[i] == Unknown || !c.isIntExpr(call.Args[i]) {
+			continue
+		}
+		ak := c.kindOf(call.Args[i])
+		if ak == Unknown || ak == kinds[i] {
+			continue
+		}
+		c.pass.Reportf(call.Args[i].Pos(),
+			"argument #%d to %s is a %s index but the parameter expects a %s index (idkind)",
+			i+1, fn.Name(), ak, kinds[i])
+	}
+}
+
+func (c *checker) checkComposite(cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !c.isIntExpr(kv.Value) {
+			continue
+		}
+		fk := nameKind(key.Name)
+		vk := c.kindOf(kv.Value)
+		if fk == Unknown || vk == Unknown || fk == vk {
+			continue
+		}
+		c.pass.Reportf(kv.Value.Pos(), "field %s assigned a %s value but holds a %s index (idkind)", key.Name, vk, fk)
+	}
+}
+
+// paramKindsOf resolves a callee's parameter kinds: the local cache
+// for this package's functions, an imported fact otherwise.
+func (c *checker) paramKindsOf(fn *types.Func) []Kind {
+	if fn.Pkg() == c.pass.Pkg {
+		return c.paramKinds[fn]
+	}
+	var fact ParamKindsFact
+	if c.pass.ImportObjectFact(fn, &fact) {
+		return fact.Kinds
+	}
+	return nil
+}
+
+// kindOf infers the index kind of an integer expression.
+func (c *checker) kindOf(e ast.Expr) Kind {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return c.identKind(e)
+	case *ast.SelectorExpr:
+		if obj := c.pass.TypesInfo.Uses[e.Sel]; obj != nil {
+			if k := geomConstKind(obj); k != Unknown {
+				return k
+			}
+		}
+		if countish(e.Sel.Name) {
+			return Unknown
+		}
+		return nameKind(e.Sel.Name)
+	case *ast.CallExpr:
+		return c.callKind(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return c.kindOf(e.X)
+		}
+	case *ast.BinaryExpr:
+		return c.binaryKind(e)
+	}
+	return Unknown
+}
+
+func (c *checker) identKind(id *ast.Ident) Kind {
+	obj := c.objOf(id)
+	if obj != nil {
+		if k, ok := c.varKinds[obj]; ok {
+			return k
+		}
+		if k := geomConstKind(obj); k != Unknown {
+			return k
+		}
+	}
+	if countish(id.Name) {
+		return Unknown
+	}
+	return nameKind(id.Name)
+}
+
+// callKind handles conversions (int(mp) keeps mp's kind), len() of a
+// kind-keyed container (a bound in that space), and named accessors
+// (loc.MidplaneIndex() is a midplane).
+func (c *checker) callKind(call *ast.CallExpr) Kind {
+	info := c.pass.TypesInfo
+	if len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return c.kindOf(call.Args[0])
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return c.containerKeyKind(call.Args[0])
+			}
+		}
+	}
+	fn := lintutil.Callee(info, call)
+	if fn == nil || countish(fn.Name()) {
+		return Unknown
+	}
+	return nameKind(fn.Name())
+}
+
+// binaryKind recognizes the sanctioned kind arithmetic:
+//
+//	mp / MidplanesPerRack            → rack
+//	rack * MidplanesPerRack [+ sub]  → midplane
+//	kind ± constant                  → kind
+func (c *checker) binaryKind(be *ast.BinaryExpr) Kind {
+	switch be.Op {
+	case token.QUO:
+		if c.isMidplanesPerRack(be.Y) && c.kindOf(be.X) == Midplane {
+			return Rack
+		}
+	case token.MUL:
+		if (c.isMidplanesPerRack(be.Y) && c.kindOf(be.X) == Rack) ||
+			(c.isMidplanesPerRack(be.X) && c.kindOf(be.Y) == Rack) {
+			return Midplane
+		}
+	case token.ADD, token.SUB:
+		xk, yk := c.kindOf(be.X), c.kindOf(be.Y)
+		if c.isConst(be.Y) && !c.isConst(be.X) {
+			return xk
+		}
+		if be.Op == token.ADD && c.isConst(be.X) && !c.isConst(be.Y) {
+			return yk
+		}
+		// rack*MidplanesPerRack + m: the product decides.
+		if xk == Midplane && yk == Unknown {
+			if mul, ok := unparen(be.X).(*ast.BinaryExpr); ok && mul.Op == token.MUL {
+				return Midplane
+			}
+		}
+	}
+	return Unknown
+}
+
+func (c *checker) isMidplanesPerRack(e ast.Expr) bool {
+	var obj types.Object
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj = c.objOf(e)
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[e.Sel]
+	}
+	return obj != nil && obj.Name() == "MidplanesPerRack" && isBgpConst(obj)
+}
+
+func (c *checker) isConst(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// containerKeyKind infers the index space of a container's subscript:
+// an explicit make-binding, a by/per/plural name, or a distinctive
+// array length.
+func (c *checker) containerKeyKind(e ast.Expr) Kind {
+	var obj types.Object
+	var name string
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj, name = c.objOf(e), e.Name
+	case *ast.SelectorExpr:
+		obj, name = c.pass.TypesInfo.Uses[e.Sel], e.Sel.Name
+	}
+	if obj != nil {
+		if k, ok := c.containerKeys[obj]; ok {
+			return k
+		}
+	}
+	if k := containerNameKind(name); k != Unknown {
+		return k
+	}
+	if t := c.pass.TypesInfo.TypeOf(e); t != nil {
+		if arr, ok := t.Underlying().(*types.Array); ok {
+			return arrayLenKinds[arr.Len()]
+		}
+	}
+	return Unknown
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+func (c *checker) isIntExpr(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	return t != nil && isIntType(t)
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// geomConstKind maps a reference to a bgp geometry bound (NumRacks,
+// NumMidplanes, ...) to the index space it bounds.
+func geomConstKind(obj types.Object) Kind {
+	if !isBgpConst(obj) {
+		return Unknown
+	}
+	return boundConsts[obj.Name()]
+}
+
+func isBgpConst(obj types.Object) bool {
+	if _, isConst := obj.(*types.Const); !isConst {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Name() == "bgp"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// --- name lexicon ---
+
+var kindTokens = map[string]Kind{
+	"rack":      Rack,
+	"midplane":  Midplane,
+	"mp":        Midplane,
+	"nodecard":  NodeCard,
+	"nc":        NodeCard,
+	"node":      Node,
+	"job":       Job,
+	"partition": Partition,
+}
+
+var countTokens = map[string]bool{
+	"num": true, "count": true, "total": true, "per": true,
+	"size": true, "len": true, "cap": true, "max": true, "min": true,
+	"width": true, "stride": true,
+}
+
+// nameKind infers a scalar index kind from a name: exactly one kind
+// token, no count tokens, singular form. "mp", "rackIdx", "jobID" →
+// kind; "numRacks", "nodesPerCard", "racks" → Unknown.
+func nameKind(name string) Kind {
+	toks := splitTokens(name)
+	k := Unknown
+	for i := 0; i < len(toks); i++ {
+		tok := toks[i]
+		if countTokens[tok] {
+			return Unknown
+		}
+		tk := kindTokens[tok]
+		if tok == "node" && i+1 < len(toks) && toks[i+1] == "card" {
+			tk = NodeCard
+			i++
+		}
+		if tk == Unknown {
+			continue
+		}
+		if k != Unknown && k != tk {
+			return Unknown // two different kinds in one name: ambiguous
+		}
+		k = tk
+	}
+	return k
+}
+
+// NameKind exposes the name lexicon for tests and tooling: the scalar
+// index kind a bare name implies, Unknown for count-ish names.
+func NameKind(name string) Kind {
+	if countish(name) {
+		return Unknown
+	}
+	return nameKind(name)
+}
+
+// countish reports whether the name is a count, bound, or extent
+// rather than an index.
+func countish(name string) bool {
+	for _, tok := range splitTokens(name) {
+		if countTokens[tok] {
+			return true
+		}
+	}
+	return false
+}
+
+var pluralTokens = map[string]Kind{
+	"racks": Rack, "midplanes": Midplane, "mps": Midplane,
+	"nodecards": NodeCard, "nodes": Node, "jobs": Job, "partitions": Partition,
+}
+
+// containerNameKind infers the subscript space of a container from its
+// name: a plural kind ("racks", "midplanes"), or a by-/per- prefix
+// ("byRack", "perMidplane").
+func containerNameKind(name string) Kind {
+	toks := splitTokens(name)
+	for i := 0; i < len(toks); i++ {
+		tok := toks[i]
+		if k, ok := pluralTokens[tok]; ok {
+			return k
+		}
+		if tok == "node" && i+1 < len(toks) && toks[i+1] == "cards" {
+			return NodeCard
+		}
+		if (tok == "by" || tok == "per") && i+1 < len(toks) {
+			rest := toks[i+1]
+			if k := kindTokens[rest]; k != Unknown {
+				if rest == "node" && i+2 < len(toks) && toks[i+2] == "card" {
+					return NodeCard
+				}
+				return k
+			}
+		}
+	}
+	return Unknown
+}
+
+// splitTokens lowers a Go identifier into word tokens: camelCase,
+// underscores, and digit boundaries all split.
+func splitTokens(name string) []string {
+	var toks []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			toks = append(toks, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || unicode.IsDigit(r):
+			flush()
+		case unicode.IsUpper(r):
+			// Split at lower→Upper and at the last capital of an
+			// acronym run (IDs, HTTPServer).
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return toks
+}

@@ -1,0 +1,53 @@
+package idkind_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/idkind"
+	"repro/internal/lint/linttest"
+)
+
+func TestIdkind(t *testing.T) {
+	linttest.Run(t, "testdata", idkind.Analyzer, "idkindtest")
+}
+
+// TestParamKindsFactExport checks the dependency fixture in isolation:
+// kind-named parameters produce a fact, kindless ones do not.
+func TestParamKindsFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", idkind.Analyzer, "idhelpers")
+	var f idkind.ParamKindsFact
+	if !store.ImportObjectFactByPath("idhelpers", "FillMidplane", &f) {
+		t.Fatal("no ParamKindsFact exported for idhelpers.FillMidplane")
+	}
+	if len(f.Kinds) != 1 || f.Kinds[0] != idkind.Midplane {
+		t.Errorf("ParamKindsFact(FillMidplane) = %v, want [midplane]", f.Kinds)
+	}
+	if store.ImportObjectFactByPath("idhelpers", "CountNodes", &f) {
+		t.Error("CountNodes unexpectedly has a ParamKindsFact")
+	}
+}
+
+func TestNameLexicon(t *testing.T) {
+	cases := []struct {
+		name string
+		want idkind.Kind
+	}{
+		{"mp", idkind.Midplane},
+		{"rackIdx", idkind.Rack},
+		{"jobID", idkind.Job},
+		{"nodeCard", idkind.NodeCard},
+		{"nc", idkind.NodeCard},
+		{"partition", idkind.Partition},
+		{"numRacks", idkind.Unknown},
+		{"rackCount", idkind.Unknown},
+		{"nodesPerCard", idkind.Unknown},
+		{"racks", idkind.Unknown},
+		{"tmp", idkind.Unknown},
+		{"rackMidplane", idkind.Unknown},
+	}
+	for _, c := range cases {
+		if got := idkind.NameKind(c.name); got != c.want {
+			t.Errorf("NameKind(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

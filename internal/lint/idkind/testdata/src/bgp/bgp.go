@@ -1,0 +1,20 @@
+// Fixture mirror of the repo's internal/bgp geometry package: idkind
+// recognizes these constants by (package name "bgp", constant name),
+// so the mirror exercises the same inference paths the real tree hits.
+package bgp
+
+const (
+	NumRacks             = 40
+	MidplanesPerRack     = 2
+	NumMidplanes         = NumRacks * MidplanesPerRack
+	NodeCardsPerMidplane = 16
+	NodesPerNodeCard     = 32
+	NumNodes             = NumMidplanes * NodeCardsPerMidplane * NodesPerNodeCard
+)
+
+// MidplaneLocation gets a ParamKindsFact{[Midplane]} from its
+// parameter name, like the real constructor.
+func MidplaneLocation(mp int) string {
+	_ = mp
+	return ""
+}

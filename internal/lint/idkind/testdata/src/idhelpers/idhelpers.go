@@ -1,0 +1,8 @@
+// Fixture dependency for the idkind cross-package test: FillMidplane's
+// parameter kind is inferred from its name and exported as a
+// ParamKindsFact that the importing fixture checks against.
+package idhelpers
+
+func FillMidplane(mp int) int { return mp * 3 }
+
+func CountNodes(total int) int { return total } // no kind: no fact

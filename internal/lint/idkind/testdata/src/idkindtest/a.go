@@ -1,0 +1,130 @@
+// Fixture for the idkind analyzer: integer expressions must stay in
+// their own Blue Gene/P index space.
+package idkindtest
+
+import (
+	"bgp"
+
+	"idhelpers"
+)
+
+type Loc struct{ Rack, Midplane int }
+
+func goodConversionDown(mp int) int {
+	rack := mp / bgp.MidplanesPerRack
+	return rack
+}
+
+func goodConversionUp(rack, sub int) int {
+	mp := rack*bgp.MidplanesPerRack + sub
+	return mp
+}
+
+func goodOffsets(mp int) int {
+	next := mp + 1
+	return next
+}
+
+func badAssign(rack, mp int) int {
+	rack = mp // want `assigning a midplane value to a rack variable`
+	return rack
+}
+
+func badDefine(rack int) int {
+	mp := rack // want `assigning a rack value to a midplane variable`
+	return mp
+}
+
+func badCompare(rack, mp int) bool {
+	return rack == mp // want `cross-kind comparison: rack vs midplane`
+}
+
+func badLoopBound(counts []int) int {
+	s := 0
+	for mp := 0; mp < bgp.NumRacks; mp++ { // want `cross-kind comparison: midplane vs rack`
+		s += counts[mp]
+	}
+	return s
+}
+
+func goodLoopBound() int {
+	s := 0
+	for mp := 0; mp < bgp.NumMidplanes; mp++ {
+		s += mp
+	}
+	return s
+}
+
+// Loop variables with silent names inherit the bound's kind.
+func badInferredLoop(racks []int) int {
+	perMidplane := make([]int, bgp.NumMidplanes)
+	s := 0
+	for i := 0; i < bgp.NumRacks; i++ {
+		s += perMidplane[i] // want `indexing a midplane-keyed container with a rack index`
+		s += racks[i]
+	}
+	return s
+}
+
+func badIndex(mp int) int {
+	racks := make([]int, bgp.NumRacks)
+	return racks[mp] // want `indexing a rack-keyed container with a midplane index`
+}
+
+func goodIndex(mp int) int {
+	perMidplane := make([]int, bgp.NumMidplanes)
+	return perMidplane[mp]
+}
+
+func badRange(byRack []int, perMidplane []int) int {
+	s := 0
+	for i := range byRack {
+		s += perMidplane[i] // want `indexing a midplane-keyed container with a rack index`
+	}
+	return s
+}
+
+func badCallLocal(rack int) int {
+	return useMidplane(rack) // want `argument #1 to useMidplane is a rack index but the parameter expects a midplane index`
+}
+
+func useMidplane(mp int) int { return mp }
+
+func badCallCross(rack int) int {
+	return idhelpers.FillMidplane(rack) // want `argument #1 to FillMidplane is a rack index but the parameter expects a midplane index`
+}
+
+func goodCallCross(mp int) int {
+	return idhelpers.FillMidplane(mp)
+}
+
+func goodCallConverted(rack int) int {
+	return idhelpers.FillMidplane(rack * bgp.MidplanesPerRack)
+}
+
+func badBgpCall(rack int) string {
+	return bgp.MidplaneLocation(rack) // want `argument #1 to MidplaneLocation is a rack index but the parameter expects a midplane index`
+}
+
+func badComposite(mp int) Loc {
+	return Loc{Rack: mp, Midplane: mp} // want `field Rack assigned a midplane value but holds a rack index`
+}
+
+func goodComposite(rack, mp int) Loc {
+	return Loc{Rack: rack, Midplane: mp}
+}
+
+// Counts are not indices: no kind, no diagnostics.
+func goodCounts(numRacks, rackCount int) bool {
+	nodesPerCard := bgp.NodesPerNodeCard
+	return numRacks*rackCount > nodesPerCard
+}
+
+// len() of a kind-keyed container is a bound in that space.
+func badLenBound(racks []int, perMidplane []int) int {
+	s := 0
+	for i := 0; i < len(racks); i++ {
+		s += perMidplane[i] // want `indexing a midplane-keyed container with a rack index`
+	}
+	return s
+}

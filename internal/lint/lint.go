@@ -6,18 +6,47 @@ package lint
 
 import (
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
 	"repro/internal/lint/detrand"
+	"repro/internal/lint/errcode"
+	"repro/internal/lint/idkind"
 	"repro/internal/lint/maporder"
-	"repro/internal/lint/seedflow"
+	"repro/internal/lint/seedtaint"
 	"repro/internal/lint/sharedfold"
 )
 
 // Analyzers returns the full bgplint suite, in stable order.
+// callgraph is a fact-only pass (it never reports) that seedtaint and
+// errcode consume for interprocedural propagation.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		callgraph.Analyzer,
 		detrand.Analyzer,
+		errcode.Analyzer,
+		idkind.Analyzer,
 		maporder.Analyzer,
-		seedflow.Analyzer,
+		seedtaint.Analyzer,
 		sharedfold.Analyzer,
 	}
+}
+
+// Severity maps an analyzer name to its reporting tier. "error"
+// findings gate CI; "warning" findings surface in reports (and SARIF)
+// but reviewers may baseline them; "note" analyzers exist only for
+// their facts and never report. Unknown names default to "warning" so
+// a future analyzer is never silently promoted to a gate.
+func Severity(analyzer string) string {
+	switch analyzer {
+	case detrand.Analyzer.Name,
+		maporder.Analyzer.Name,
+		sharedfold.Analyzer.Name,
+		seedtaint.Analyzer.Name,
+		errcode.Analyzer.Name:
+		return "error"
+	case idkind.Analyzer.Name:
+		return "warning"
+	case callgraph.Analyzer.Name:
+		return "note"
+	}
+	return "warning"
 }

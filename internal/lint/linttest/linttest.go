@@ -9,6 +9,12 @@
 // Fixture packages may import each other (resolved inside testdata/src
 // first) and the standard library (resolved by compiling stdlib from
 // GOROOT source, which needs no network or pre-built export data).
+//
+// Analyzers with Requires and FactTypes are supported: required
+// analyzers run first on every package, and before a fixture package
+// is analyzed, the analyzer suite runs over its fixture dependencies
+// (imports resolved under testdata/src) with a shared fact store, so
+// `// want` expectations can assert cross-package fact flow.
 package linttest
 
 import (
@@ -28,6 +34,7 @@ import (
 	"testing"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
 )
 
 // Run loads each fixture package under dir/src and checks the
@@ -64,10 +71,12 @@ func RunWithSuggestedFixes(t *testing.T, dir string, a *analysis.Analyzer, pkgpa
 }
 
 type loader struct {
-	root string // testdata dir; fixtures under root/src
-	fset *token.FileSet
-	pkgs map[string]*fixturePkg
-	std  types.ImporterFrom
+	root     string // testdata dir; fixtures under root/src
+	fset     *token.FileSet
+	pkgs     map[string]*fixturePkg
+	std      types.ImporterFrom
+	store    *facts.Store
+	analyzed map[string]bool // fixture pkgs already run for facts
 }
 
 type fixturePkg struct {
@@ -80,31 +89,131 @@ type fixturePkg struct {
 func newLoader(dir string) *loader {
 	fset := token.NewFileSet()
 	return &loader{
-		root: dir,
-		fset: fset,
-		pkgs: make(map[string]*fixturePkg),
-		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		root:     dir,
+		fset:     fset,
+		pkgs:     make(map[string]*fixturePkg),
+		std:      importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		store:    facts.NewStore(),
+		analyzed: make(map[string]bool),
 	}
 }
 
+// analyze runs a (with its Requires) on the fixture package at path,
+// after running the full suite over the package's fixture dependencies
+// so imported facts are populated. Only a's own diagnostics on the
+// target package are returned.
 func (l *loader) analyze(a *analysis.Analyzer, path string) ([]analysis.Diagnostic, *fixturePkg, error) {
 	fp, err := l.load(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      l.fset,
-		Files:     fp.files,
-		Pkg:       fp.pkg,
-		TypesInfo: fp.info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	for _, dep := range l.fixtureDeps(fp, map[string]bool{path: true}) {
+		if _, _, err := l.runOn(a, dep, false); err != nil {
+			return nil, nil, err
+		}
 	}
-	if _, err := a.Run(pass); err != nil {
-		return nil, nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+	diags, fp, err := l.runOn(a, path, true)
+	return diags, fp, err
+}
+
+// fixtureDeps returns the transitive fixture-package imports of fp, in
+// dependency order (imports before importers).
+func (l *loader) fixtureDeps(fp *fixturePkg, seen map[string]bool) []string {
+	var deps []string
+	for _, f := range fp.files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			if _, statErr := os.Stat(filepath.Join(l.root, "src", path)); statErr != nil {
+				continue // standard library
+			}
+			seen[path] = true
+			if dfp, err := l.load(path); err == nil {
+				deps = append(deps, l.fixtureDeps(dfp, seen)...)
+			}
+			deps = append(deps, path)
+		}
+	}
+	return deps
+}
+
+// runOn executes a's Requires closure on one fixture package, binding
+// the shared fact store, and returns a's diagnostics when collect is
+// set. Fact-only runs are memoized per package.
+func (l *loader) runOn(a *analysis.Analyzer, path string, collect bool) ([]analysis.Diagnostic, *fixturePkg, error) {
+	if !collect {
+		if l.analyzed[path] {
+			return nil, nil, nil
+		}
+		l.analyzed[path] = true
+	}
+	fp, err := l.load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]interface{})
+	for _, one := range analysis.Expand([]*analysis.Analyzer{a}) {
+		report := func(analysis.Diagnostic) {}
+		if collect && one == a {
+			report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		}
+		pass := &analysis.Pass{
+			Analyzer:  one,
+			Fset:      l.fset,
+			Files:     fp.files,
+			Pkg:       fp.pkg,
+			TypesInfo: fp.info,
+			Report:    report,
+			ResultOf:  results,
+		}
+		l.store.BindPass(pass)
+		res, err := one.Run(pass)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analyzer %s on %s: %v", one.Name, path, err)
+		}
+		results[one] = res
 	}
 	return diags, fp, nil
+}
+
+// RunAnalyzer loads the fixture package at dir/src/<path> (running the
+// suite over its fixture dependencies first) and returns a's result
+// value and the shared fact store, for tests that assert on results or
+// exported facts rather than diagnostics.
+func RunAnalyzer(t *testing.T, dir string, a *analysis.Analyzer, path string) (interface{}, *facts.Store) {
+	t.Helper()
+	l := newLoader(dir)
+	fp, err := l.load(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	for _, dep := range l.fixtureDeps(fp, map[string]bool{path: true}) {
+		if _, _, err := l.runOn(a, dep, false); err != nil {
+			t.Fatalf("%s: %v", dep, err)
+		}
+	}
+	results := make(map[*analysis.Analyzer]interface{})
+	for _, one := range analysis.Expand([]*analysis.Analyzer{a}) {
+		pass := &analysis.Pass{
+			Analyzer:  one,
+			Fset:      l.fset,
+			Files:     fp.files,
+			Pkg:       fp.pkg,
+			TypesInfo: fp.info,
+			Report:    func(analysis.Diagnostic) {},
+			ResultOf:  results,
+		}
+		l.store.BindPass(pass)
+		res, err := one.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s on %s: %v", one.Name, path, err)
+		}
+		results[one] = res
+	}
+	return results[a], l.store
 }
 
 // Import implements types.Importer: fixture packages shadow the

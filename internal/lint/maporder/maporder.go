@@ -38,10 +38,29 @@ var Analyzer = &analysis.Analyzer{
 		"Ranging over a map while appending to a slice, emitting table rows or\n" +
 		"text, or accumulating floats makes the result depend on Go's randomized\n" +
 		"map order. Sort the keys first, or sort the accumulated slice afterwards.",
-	Run: run,
+	Run:       run,
+	FactTypes: []analysis.Fact{(*SummaryFact)(nil)},
 }
 
+// A SummaryFact records that a package contains order-sensitive map
+// folds; it rides the vet fact files so tooling can aggregate
+// per-package verdicts without re-running the analysis.
+type SummaryFact struct {
+	Findings int
+}
+
+// AFact marks SummaryFact as a fact type.
+func (*SummaryFact) AFact() {}
+
 func run(pass *analysis.Pass) (interface{}, error) {
+	count := 0
+	report := pass.Report
+	pass.Report = func(d analysis.Diagnostic) { count++; report(d) }
+	defer func() {
+		if count > 0 {
+			pass.ExportPackageFact(&SummaryFact{Findings: count})
+		}
+	}()
 	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok {

@@ -1,0 +1,150 @@
+// Package sarif emits the subset of SARIF 2.1.0 that code-scanning
+// services and editors consume: one run per invocation, one rule per
+// analyzer, one result per finding with a physical location, a stable
+// partial fingerprint, and a baselineState when a baseline was in
+// play. The struct set is deliberately minimal — only fields bgplint
+// populates — but field names and nesting follow the OASIS schema so
+// the output validates.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Version is the SARIF spec version emitted.
+const Version = "2.1.0"
+
+const schemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// A Log is the top-level SARIF document.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// A Run is one tool invocation.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool identifies the analysis tool.
+type Tool struct {
+	Driver Component `json:"driver"`
+}
+
+// A Component describes the tool driver and its rules.
+type Component struct {
+	Name           string `json:"name"`
+	Version        string `json:"version,omitempty"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules,omitempty"`
+}
+
+// A Rule is one analyzer (reportingDescriptor in the schema).
+type Rule struct {
+	ID               string      `json:"id"`
+	ShortDescription Message     `json:"shortDescription"`
+	DefaultConfig    *RuleConfig `json:"defaultConfiguration,omitempty"`
+}
+
+// RuleConfig carries the rule's default severity level.
+type RuleConfig struct {
+	Level string `json:"level"`
+}
+
+// A Message is SARIF's text wrapper.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// A Result is one finding.
+type Result struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             Message           `json:"message"`
+	Locations           []Location        `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+	BaselineState       string            `json:"baselineState,omitempty"`
+}
+
+// A Location wraps the physical location of a finding.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is a file URI plus a region within it.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+// ArtifactLocation is a repo-relative, slash-separated file path.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// A Region is a 1-based start position.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// fingerprintKey names bgplint's fingerprint scheme inside
+// partialFingerprints; the suffix is the scheme version, bumped if the
+// hashing recipe ever changes.
+const fingerprintKey = "bgplintFingerprint/v1"
+
+// A FindingInfo is the format-independent description of one finding
+// that the caller (cmd/bgplint) assembles from the driver, the
+// severity table, and the baseline.
+type FindingInfo struct {
+	RuleID        string
+	Level         string // "error", "warning", or "note"
+	Message       string
+	URI           string // repo-relative, slash-separated
+	Line, Column  int
+	Fingerprint   string
+	BaselineState string // "new", "unchanged", or "" when no baseline was given
+}
+
+// Build assembles a single-run SARIF log. rules should cover every
+// RuleID that appears in results (extra rules are fine and document
+// the full suite).
+func Build(toolVersion string, rules []Rule, results []FindingInfo) *Log {
+	rs := make([]Result, 0, len(results))
+	for _, f := range results {
+		rs = append(rs, Result{
+			RuleID:  f.RuleID,
+			Level:   f.Level,
+			Message: Message{Text: f.Message},
+			Locations: []Location{{
+				PhysicalLocation: PhysicalLocation{
+					ArtifactLocation: ArtifactLocation{URI: f.URI},
+					Region:           Region{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+			PartialFingerprints: map[string]string{fingerprintKey: f.Fingerprint},
+			BaselineState:       f.BaselineState,
+		})
+	}
+	return &Log{
+		Schema:  schemaURI,
+		Version: Version,
+		Runs: []Run{{
+			Tool:    Tool{Driver: Component{Name: "bgplint", Version: toolVersion, Rules: rules}},
+			Results: rs,
+		}},
+	}
+}
+
+// Encode writes the log as indented JSON with a trailing newline.
+// encoding/json sorts map keys, so output is byte-deterministic for a
+// given log.
+func (l *Log) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}

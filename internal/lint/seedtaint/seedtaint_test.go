@@ -1,0 +1,27 @@
+package seedtaint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/seedtaint"
+)
+
+func TestSeedtaint(t *testing.T) {
+	linttest.Run(t, "testdata", seedtaint.Analyzer, "seedtainttest")
+}
+
+// TestSinkFactExport checks the dependency fixture in isolation: its
+// forwarding constructor must export a SinkFact on its first parameter
+// (and report nothing, which linttest.Run on the importing fixture
+// already enforces).
+func TestSinkFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", seedtaint.Analyzer, "seedsink")
+	var f seedtaint.SinkFact
+	if !store.ImportObjectFactByPath("seedsink", "Make", &f) {
+		t.Fatal("no SinkFact exported for seedsink.Make")
+	}
+	if len(f.Params) != 1 || f.Params[0] != 0 {
+		t.Errorf("SinkFact for seedsink.Make = %v, want [0]", f.Params)
+	}
+}

@@ -1,0 +1,11 @@
+// Fixture dependency for the seedtaint cross-package test: Make
+// forwards its parameter into rand.NewSource, so analyzing this
+// package exports a SinkFact{Params: [0]} that the importing fixture
+// consumes.
+package seedsink
+
+import "math/rand"
+
+func Make(x int64) *rand.Rand {
+	return rand.New(rand.NewSource(x))
+}

@@ -1,0 +1,95 @@
+// Fixture for the seedtaint analyzer: every random source must trace
+// back to a Config.Seed-style value, through any number of calls.
+package seedtainttest
+
+import (
+	"flag"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+
+	"seedsink"
+)
+
+type Config struct{ Seed int64 }
+
+func goodConfigSeed(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+func goodDerived(cfg Config, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(cfg.Seed, shard)))
+}
+
+func goodLocalSeedVar(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 1))
+}
+
+func goodV2(cfg Config) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(uint64(cfg.Seed), 0))
+}
+
+func goodFlag() *rand.Rand {
+	f := flag.Int64("seed", 1, "campaign seed")
+	return rand.New(rand.NewSource(*f))
+}
+
+func goodLocalChain(cfg Config) *rand.Rand {
+	s := cfg.Seed*1000003 + 17
+	return rand.New(rand.NewSource(s))
+}
+
+func deriveSeed(seed int64, shard int) int64 {
+	return seed*1000003 + int64(shard)
+}
+
+func badWallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `not derived from a Config\.Seed-style value`
+}
+
+func badMagicLiteral() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `not derived from a Config\.Seed-style value`
+}
+
+func badV2Literal() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2)) // want `not derived from a Config\.Seed-style value`
+}
+
+func badLocalChain() *rand.Rand {
+	x := time.Now().UnixNano()
+	return rand.New(rand.NewSource(x)) // want `not derived from a Config\.Seed-style value`
+}
+
+// forward passes its parameter straight into the sink: not a violation
+// here — the obligation moves to forward's callers via a SinkFact.
+func forward(x int64) *rand.Rand {
+	return rand.New(rand.NewSource(x))
+}
+
+// wrap adds a second hop to the chain.
+func wrap(y int64) *rand.Rand {
+	return forward(y + 3)
+}
+
+func goodForwardCaller(cfg Config) *rand.Rand {
+	return forward(cfg.Seed)
+}
+
+func badForwardCaller() *rand.Rand {
+	return forward(time.Now().UnixNano()) // want `argument #1 to seedtainttest\.forward flows to a random-source seed`
+}
+
+func badTwoHop() *rand.Rand {
+	return wrap(99) // want `argument #1 to seedtainttest\.wrap flows to a random-source seed`
+}
+
+// The sink obligation crosses package boundaries: seedsink.Make
+// forwards its argument to rand.NewSource, so an unseeded literal here
+// is flagged via the imported SinkFact.
+func badCrossPackage() *rand.Rand {
+	return seedsink.Make(7) // want `argument #1 to seedsink\.Make flows to a random-source seed`
+}
+
+func goodCrossPackage(cfg Config) *rand.Rand {
+	return seedsink.Make(deriveSeed(cfg.Seed, 4))
+}

@@ -1,13 +1,21 @@
-package seedflowtest
+package seedtainttest
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"seedsink"
+)
 
 // Literal seeds in _test.go files are the sanctioned way to pin a
-// campaign: no diagnostics here.
+// campaign: no diagnostics here, even through a forwarding sink.
 func pinnedCampaign() *rand.Rand {
 	return rand.New(rand.NewSource(1))
 }
 
 func pinnedConverted() *rand.Rand {
 	return rand.New(rand.NewSource(int64(7)))
+}
+
+func pinnedThroughSink() *rand.Rand {
+	return seedsink.Make(3)
 }

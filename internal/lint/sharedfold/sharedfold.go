@@ -41,8 +41,19 @@ var Analyzer = &analysis.Analyzer{
 		"write only index-keyed slots or return values. Do tasks are distinct\n" +
 		"closures that may each write their own captured outputs, but no two may\n" +
 		"write the same state.",
-	Run: run,
+	Run:       run,
+	FactTypes: []analysis.Fact{(*SummaryFact)(nil)},
 }
+
+// A SummaryFact records that a package contains shared-state writes in
+// parallel task closures; it rides the vet fact files so tooling can
+// aggregate per-package verdicts without re-running the analysis.
+type SummaryFact struct {
+	Findings int
+}
+
+// AFact marks SummaryFact as a fact type.
+func (*SummaryFact) AFact() {}
 
 // poolFuncs are the fan-out entry points whose task closures run
 // concurrently. Matching is by function name within a package named
@@ -50,6 +61,14 @@ var Analyzer = &analysis.Analyzer{
 var poolFuncs = map[string]bool{"ForEach": true, "Map": true, "Do": true}
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	count := 0
+	report := pass.Report
+	pass.Report = func(d analysis.Diagnostic) { count++; report(d) }
+	defer func() {
+		if count > 0 {
+			pass.ExportPackageFact(&SummaryFact{Findings: count})
+		}
+	}()
 	pass.Preorder(func(n ast.Node) {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {

@@ -11,9 +11,9 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== bgplint (determinism & parallel-safety analyzers)"
+echo "== bgplint (determinism & domain analyzers; baseline-gated, SARIF artifact)"
 go build -o bin/bgplint ./cmd/bgplint
-./bin/bgplint ./...
+./bin/bgplint -baseline lint.baseline.json -sarif bgplint.sarif ./... ./cmd/... ./examples/...
 
 # Third-party linters run when available; the build environment is
 # offline, so they are gated rather than installed here.
@@ -39,5 +39,6 @@ go test -race ./...
 echo "== fuzz smoke (${FUZZTIME:=10s} per target)"
 go test ./internal/raslog -fuzz FuzzParseRecord -fuzztime "$FUZZTIME"
 go test ./internal/joblog -fuzz FuzzParseJob -fuzztime "$FUZZTIME"
+go test ./internal/bgp -fuzz FuzzParseLocation -fuzztime "$FUZZTIME"
 
 echo "CI OK"
