@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint lint-baseline check fuzz bench golden
+.PHONY: all build vet test race lint lint-baseline check fuzz bench bench-baseline golden
 
 all: check
 
@@ -54,6 +54,13 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Regenerate the committed benchmark baseline the CI `bench` job gates
+# against (fixed -benchtime/-count so reports stay diffable). Like
+# lint-baseline, review the BENCH_PR4.json diff like code — a looser
+# baseline is a perf regression being waved through.
+bench-baseline:
+	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR4.json
 
 # Regenerate the golden report after an intentional output change.
 golden:

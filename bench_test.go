@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"bytes"
 	"io"
 	"math/rand"
 	"os"
@@ -115,6 +116,59 @@ func BenchmarkFigure1_Pipeline(b *testing.B) {
 		evs, _ := filter.Pipeline(cfg, fatal)
 		if len(evs) == 0 {
 			b.Fatal("pipeline produced no events")
+		}
+	}
+}
+
+// streamCorpus builds a synthetic raw RAS log in memory: FATAL events
+// drowned in non-fatal noise, the mix the streaming ingestion sees.
+// Synthetic (not the campaign fixture) so the codec benchmarks measure
+// decode + cascade, not simulation startup.
+func streamCorpus(records int) []byte {
+	rng := rand.New(rand.NewSource(23))
+	codes := []string{"_bgp_err_ddr_str", "_bgp_err_cns_ras_storm_fatal", "_bgp_warn_link", "_bgp_info_boot"}
+	var buf []byte
+	base := time.Date(2008, 4, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < records; i++ {
+		sev, comp := raslog.SevInfo, raslog.CompMMCS
+		if i%8 == 0 {
+			sev, comp = raslog.SevFatal, raslog.CompKernel
+		}
+		rec := raslog.Record{
+			RecID:     int64(i + 1),
+			MsgID:     "KERN_0802",
+			Component: comp,
+			ErrCode:   codes[i%len(codes)],
+			Severity:  sev,
+			EventTime: base.Add(time.Duration(i) * 400 * time.Millisecond),
+			Flags:     "DefaultControlEventListener",
+			Location:  "R" + strconv.Itoa(rng.Intn(40)) + "-M" + strconv.Itoa(i%2),
+			Serial:    "SN",
+			Message:   "benchmark record",
+		}
+		buf = rec.AppendLine(buf)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// BenchmarkStreamPipeline measures the streaming ingestion end to end:
+// parallel sharded decode of a raw RAS log with in-shard FATAL
+// filtering, then the full filter cascade — the bounded-memory path
+// PipelineFromLog gives operators with real log files.
+func BenchmarkStreamPipeline(b *testing.B) {
+	corpus := streamCorpus(32768)
+	cfg := filter.DefaultConfig()
+	b.SetBytes(int64(len(corpus)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evs, st, err := filter.PipelineFromLog(cfg, bytes.NewReader(corpus))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(evs) == 0 || st.Input == 0 {
+			b.Fatal("stream pipeline produced no events")
 		}
 	}
 }

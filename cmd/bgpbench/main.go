@@ -1,0 +1,200 @@
+// Command bgpbench is the benchmark harness behind the CI perf gate:
+// it runs the named codec + pipeline benchmark subset with a fixed
+// -benchtime/-count, emits a machine-readable JSON report (schema
+// repro/bgpbench/v1, see BENCH_PR4.json at the repo root), and compares
+// a fresh report against a committed baseline with a tolerance gate.
+//
+// Usage:
+//
+//	bgpbench run -out BENCH_PR4.json            # collect a report
+//	bgpbench run -count 5 -benchtime 2000x -out bench.json
+//	bgpbench compare -baseline BENCH_PR4.json -current bench.json
+//
+// Exit codes: 0 pass (or comparison skipped on host mismatch),
+// 1 regression detected, 2 harness failure.
+//
+// The gate: a benchmark regresses when its ns/op exceeds the baseline
+// by more than -tolerance (default 25%), or when its allocs/op grows at
+// all. When the current host metadata differs from the baseline's (Go
+// minor version, OS, arch or CPU count), the comparison is skipped with
+// a warning — cross-host ns/op deltas are noise, and a skipped gate is
+// visible in the CI log rather than silently green on bad data.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// benchSubset is the named benchmark set the gate watches: the codec
+// microbenchmarks (with their pre-rewrite *Legacy counterparts so the
+// speedup itself is regression-gated) and the streaming pipeline.
+var benchSubset = []string{
+	"BenchmarkRASUnmarshal",
+	"BenchmarkRASUnmarshalFields",
+	"BenchmarkRASUnmarshalLegacy",
+	"BenchmarkRASMarshal",
+	"BenchmarkRASMarshalLegacy",
+	"BenchmarkRASDecodeParallel",
+	"BenchmarkJobUnmarshal",
+	"BenchmarkJobUnmarshalLegacy",
+	"BenchmarkJobMarshal",
+	"BenchmarkStreamPipeline",
+}
+
+// benchPackages are the packages the subset lives in.
+var benchPackages = []string{"./internal/raslog", "./internal/joblog", "."}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "bgpbench: want subcommand: run | compare")
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "bgpbench: unknown subcommand %q (want run | compare)\n", args[0])
+		return 2
+	}
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bgpbench run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("out", "", "write the JSON report here (default stdout)")
+		count     = fs.Int("count", 5, "benchmark repetitions (-count); min ns/op across samples is reported")
+		benchtime = fs.String("benchtime", "2000x", "fixed -benchtime (use Nx iteration counts for comparability)")
+		chdir     = fs.String("C", "", "run go test from this directory (default: current)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rep, raw, err := collect(*chdir, *benchtime, *count)
+	if err != nil {
+		fmt.Fprintf(stderr, "bgpbench: %v\n", err)
+		if raw != nil {
+			stderr.Write(raw)
+		}
+		return 2
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "bgpbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := writeReport(w, rep); err != nil {
+		fmt.Fprintf(stderr, "bgpbench: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "bgpbench: %d benchmarks, -benchtime %s -count %d\n",
+		len(rep.Benchmarks), rep.Benchtime, rep.Count)
+	return 0
+}
+
+// collect shells out to `go test -bench` over the fixed subset and
+// parses the output into a Report. The raw output is returned for
+// diagnostics when parsing or the run fails.
+func collect(dir, benchtime string, count int) (*Report, []byte, error) {
+	re := "^(" + strings.Join(benchSubset, "|") + ")$"
+	goArgs := []string{"test", "-run", "^$", "-bench", re,
+		"-benchtime", benchtime, "-count", fmt.Sprint(count), "-benchmem", "-timeout", "30m"}
+	goArgs = append(goArgs, benchPackages...)
+	cmd := exec.Command("go", goArgs...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	// GOMAXPROCS is part of the emitted benchmark names; leave it to the
+	// host so the report reflects the machine being measured.
+	if err := cmd.Run(); err != nil {
+		return nil, buf.Bytes(), fmt.Errorf("go test -bench: %w", err)
+	}
+	samples, err := parseBenchOutput(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, buf.Bytes(), err
+	}
+	if len(samples) == 0 {
+		return nil, buf.Bytes(), fmt.Errorf("no benchmark results in go test output")
+	}
+	benches, err := reduce(samples)
+	if err != nil {
+		return nil, buf.Bytes(), err
+	}
+	return &Report{
+		Schema:        SchemaV1,
+		GeneratedWith: currentHost(),
+		Benchtime:     benchtime,
+		Count:         count,
+		Benchmarks:    benches,
+	}, nil, nil
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bgpbench compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		basePath  = fs.String("baseline", "BENCH_PR4.json", "committed baseline report")
+		curPath   = fs.String("current", "", "fresh report to gate (required)")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed ns/op growth fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *curPath == "" {
+		fmt.Fprintln(stderr, "bgpbench compare: -current is required")
+		return 2
+	}
+	baseline, err := readReportFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "bgpbench: baseline: %v\n", err)
+		return 2
+	}
+	current, err := readReportFile(*curPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "bgpbench: current: %v\n", err)
+		return 2
+	}
+	if ok, why := baseline.GeneratedWith.Comparable(current.GeneratedWith); !ok {
+		fmt.Fprintf(stdout, "bgpbench: SKIP comparison: host metadata differs (%s); ns/op across hosts is noise\n", why)
+		fmt.Fprintf(stdout, "bgpbench: regenerate the baseline on this host with `make bench-baseline` to enable gating\n")
+		return 0
+	}
+	regs := compareReports(baseline, current, *tolerance)
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "bgpbench: OK — %d benchmarks within tolerance (%.0f%% ns/op, 0 allocs/op growth)\n",
+			len(baseline.Benchmarks), 100**tolerance)
+		return 0
+	}
+	fmt.Fprintf(stdout, "bgpbench: %d regression(s) vs %s:\n", len(regs), *basePath)
+	for _, r := range regs {
+		fmt.Fprintf(stdout, "  FAIL %s: %s\n", r.Key, r.Reason)
+	}
+	return 1
+}
+
+func readReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readReport(f)
+}

@@ -13,8 +13,6 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/joblog"
-	"repro/internal/raslog"
 	"repro/internal/simulate"
 )
 
@@ -43,10 +41,23 @@ func run(args []string, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := writeRAS(*rasP, camp); err != nil {
+	rf, err := os.Create(*rasP)
+	if err != nil {
 		return err
 	}
-	if err := writeJobs(*jobP, camp); err != nil {
+	defer rf.Close()
+	jf, err := os.Create(*jobP)
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	if err := camp.WriteLogs(rf, jf); err != nil {
+		return err
+	}
+	if err := rf.Close(); err != nil {
+		return err
+	}
+	if err := jf.Close(); err != nil {
 		return err
 	}
 	distinct, resub := camp.Jobs.DistinctExecutables()
@@ -54,42 +65,4 @@ func run(args []string, stderr io.Writer) error {
 		"wrote %s (%d records, %d FATAL) and %s (%d jobs, %d distinct, %d resubmitted)\n",
 		*rasP, camp.RAS.Len(), len(camp.RAS.Fatal()), *jobP, camp.Jobs.Len(), distinct, resub)
 	return nil
-}
-
-func writeRAS(path string, camp *simulate.Campaign) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := raslog.NewWriter(f)
-	for _, rec := range camp.RAS.All() {
-		if err := w.Write(rec); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func writeJobs(path string, camp *simulate.Campaign) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := joblog.NewWriter(f)
-	for _, j := range camp.Jobs.All() {
-		if err := w.Write(j); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -9,6 +9,7 @@
 //	bgpreport -seed 7 -days 120 -summary
 //	bgpreport -quick -seeds 8            # 8-seed ensemble: mean ± 95% CI
 //	bgpreport -parallelism 1             # force the sequential path
+//	bgpreport -ras ras.log -job job.log  # analyze external logs (streamed)
 package main
 
 import (
@@ -37,6 +38,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		summary     = fs.Bool("summary", false, "print only the paper-vs-measured summary")
 		seeds       = fs.Int("seeds", 1, "number of ensemble seeds (seed..seed+n-1); >1 prints mean ± 95% CI per observation")
 		parallelism = fs.Int("parallelism", 0, "worker bound for all fan-outs (0 = GOMAXPROCS, 1 = sequential)")
+		rasP        = fs.String("ras", "", "analyze this RAS log instead of simulating (requires -job)")
+		jobP        = fs.String("job", "", "analyze this job log instead of simulating (requires -ras)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +52,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg.Parallelism = *parallelism
 	cfg.Seeds = *seeds
+
+	if (*rasP == "") != (*jobP == "") {
+		return fmt.Errorf("-ras and -job must be given together")
+	}
+	if *rasP != "" {
+		rep, err := loadLogs(cfg, *rasP, *jobP)
+		if err != nil {
+			return err
+		}
+		if !*summary {
+			if err := rep.RenderAll(stdout); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+		}
+		printSummary(stdout, rep.Summary())
+		return nil
+	}
 
 	if cfg.Seeds > 1 {
 		ens, err := repro.RunEnsemble(cfg)
@@ -70,6 +91,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	printSummary(stdout, rep.Summary())
 	return nil
+}
+
+// loadLogs streams external log files through repro.Load (the sharded
+// parallel decoder honoring cfg.Parallelism).
+func loadLogs(cfg repro.Config, rasPath, jobPath string) (*repro.Report, error) {
+	rf, err := os.Open(rasPath)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	jf, err := os.Open(jobPath)
+	if err != nil {
+		return nil, err
+	}
+	defer jf.Close()
+	return repro.Load(cfg, rf, jf)
 }
 
 func printSummary(w io.Writer, s repro.Summary) {

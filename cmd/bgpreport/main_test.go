@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/simulate"
 )
 
 func TestRunSummaryOnly(t *testing.T) {
@@ -57,5 +61,60 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-days", "0", "-summary"}, &out, &errOut); err == nil {
 		t.Error("zero days accepted")
+	}
+	if err := run([]string{"-ras", "only.log", "-summary"}, &out, &errOut); err == nil {
+		t.Error("-ras without -job accepted")
+	}
+}
+
+// TestRunExternalLogs exercises the -ras/-job path: write a small
+// campaign's logs to disk, analyze the files through the streaming
+// loader, and check the analysis matches the simulated campaign's.
+func TestRunExternalLogs(t *testing.T) {
+	// Same knobs run's "-days 14 -seed 3" resolves to, so the two
+	// summaries must match byte for byte.
+	camp, err := simulate.Run(simulate.Config{Seed: 3, Days: 14, NoisePerFatal: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rasP := filepath.Join(dir, "ras.log")
+	jobP := filepath.Join(dir, "job.log")
+	rf, err := os.Create(rasP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Create(jobP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := camp.WriteLogs(rf, jf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromSim, fromLogs, errOut bytes.Buffer
+	if err := run([]string{"-days", "14", "-seed", "3", "-summary"}, &fromSim, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-ras", rasP, "-job", jobP, "-summary"}, &fromLogs, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	// The simulated and file-loaded analyses see the same campaign, so
+	// record/job counts and filter results must agree line for line.
+	simLines := strings.Split(fromSim.String(), "\n")
+	logLines := strings.Split(fromLogs.String(), "\n")
+	if len(simLines) != len(logLines) {
+		t.Fatalf("summary length differs: %d vs %d lines", len(simLines), len(logLines))
+	}
+	for i := range simLines {
+		if simLines[i] != logLines[i] {
+			t.Errorf("summary line %d differs:\n sim: %s\nlogs: %s", i+1, simLines[i], logLines[i])
+		}
 	}
 }

@@ -57,9 +57,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("coanalyze", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		rasP     = fs.String("ras", "ras.log", "RAS log path")
-		jobP     = fs.String("job", "job.log", "job log path")
-		artifact = fs.String("artifact", "all", "artifact to print: all, or one of "+keys())
+		rasP        = fs.String("ras", "ras.log", "RAS log path")
+		jobP        = fs.String("job", "job.log", "job log path")
+		artifact    = fs.String("artifact", "all", "artifact to print: all, or one of "+keys())
+		parallelism = fs.Int("parallelism", 0, "worker bound for log decode and analysis fan-outs (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,7 +77,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer jf.Close()
 
-	rep, err := repro.Load(repro.DefaultConfig(0), rf, jf)
+	cfg := repro.DefaultConfig(0)
+	cfg.Parallelism = *parallelism
+	rep, err := repro.Load(cfg, rf, jf)
 	if err != nil {
 		return err
 	}

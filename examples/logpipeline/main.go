@@ -14,7 +14,6 @@ import (
 
 	"repro"
 	"repro/internal/filter"
-	"repro/internal/joblog"
 	"repro/internal/raslog"
 	"repro/internal/simulate"
 )
@@ -38,21 +37,30 @@ func main() {
 	}
 	fmt.Printf("wrote %s and %s\n", rasPath, jobPath)
 
-	// 2. Stream the RAS log back and run the filtering cascade stage by
-	// stage, showing the compression each stage buys.
+	// 2. Stream the RAS log back with the iterator reader: one reusable
+	// record, no whole-file slice — only the FATAL survivors are kept.
 	rf, err := os.Open(rasPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	recs, err := raslog.NewReader(rf).ReadAll()
+	r := raslog.NewReader(rf)
+	total := 0
+	var fatal []raslog.Record
+	for r.Next() {
+		total++
+		if r.Record().Fatal() {
+			fatal = append(fatal, *r.Record())
+		}
+	}
 	rf.Close()
-	if err != nil {
+	if err := r.Err(); err != nil {
 		log.Fatal(err)
 	}
-	store := raslog.NewStore(recs)
-	fatal := store.Fatal()
-	fmt.Printf("\nread back %d records; %d FATAL\n", store.Len(), len(fatal))
+	fmt.Printf("\nstreamed %d records; kept %d FATAL\n", total, len(fatal))
 
+	// 3. Run the filtering cascade stage by stage, showing the
+	// compression each stage buys. (filter.PipelineFromLog does the
+	// stream + cascade in one call, on parallel decode shards.)
 	cfg := filter.DefaultConfig()
 	t := filter.Temporal(cfg.TemporalWindow, fatal)
 	s := filter.Spatial(cfg.SpatialWindow, t)
@@ -62,7 +70,8 @@ func main() {
 	fmt.Printf("spatial:   %6d -> %5d (parallel-job fan-out collapsed)\n", len(t), len(s))
 	fmt.Printf("causality: %6d -> %5d (%d mined rules)\n", len(s), len(c), len(rules))
 
-	// 3. Feed both files to the public API, as cmd/coanalyze does.
+	// 4. Feed both files to the public API, as cmd/coanalyze does; Load
+	// decodes them with the sharded streaming codec.
 	rf, err = os.Open(rasPath)
 	if err != nil {
 		log.Fatal(err)
@@ -88,26 +97,16 @@ func writeLogs(camp *simulate.Campaign, rasPath, jobPath string) error {
 		return err
 	}
 	defer rf.Close()
-	rw := raslog.NewWriter(rf)
-	for _, rec := range camp.RAS.All() {
-		if err := rw.Write(rec); err != nil {
-			return err
-		}
-	}
-	if err := rw.Flush(); err != nil {
-		return err
-	}
-
 	jf, err := os.Create(jobPath)
 	if err != nil {
 		return err
 	}
 	defer jf.Close()
-	jw := joblog.NewWriter(jf)
-	for _, j := range camp.Jobs.All() {
-		if err := jw.Write(j); err != nil {
-			return err
-		}
+	if err := camp.WriteLogs(rf, jf); err != nil {
+		return err
 	}
-	return jw.Flush()
+	if err := rf.Close(); err != nil {
+		return err
+	}
+	return jf.Close()
 }

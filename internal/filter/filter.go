@@ -9,6 +9,8 @@
 package filter
 
 import (
+	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -113,6 +115,29 @@ func Pipeline(cfg Config, fatal []raslog.Record) ([]*Event, Stats) {
 	c := Causality(cfg.CausalityWindow, rules, s)
 	st.AfterCausality = len(c)
 	return c, st
+}
+
+// PipelineFromLog streams a raw RAS log and runs the cascade over its
+// FATAL records without ever materializing the non-fatal bulk: the
+// sharded streaming decoder (bounded-memory chunks over the
+// internal/parallel pool, cfg.Parallelism workers) discards non-FATAL
+// records inside the shards, and the survivors are sorted into the
+// (EventTime, RecID) order raslog.Store would have presented. The
+// events and stats are identical to Pipeline(cfg, store.Fatal()) over
+// the same log, for any worker count.
+func PipelineFromLog(cfg Config, r io.Reader) ([]*Event, Stats, error) {
+	fatal, err := raslog.ReadMatchingParallel(r, cfg.Parallelism, (*raslog.Record).Fatal)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("filter: reading RAS log: %w", err)
+	}
+	sort.SliceStable(fatal, func(i, j int) bool {
+		if !fatal[i].EventTime.Equal(fatal[j].EventTime) {
+			return fatal[i].EventTime.Before(fatal[j].EventTime)
+		}
+		return fatal[i].RecID < fatal[j].RecID
+	})
+	ev, st := Pipeline(cfg, fatal)
+	return ev, st, nil
 }
 
 // locKey identifies a temporal-cluster stream.

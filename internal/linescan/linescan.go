@@ -1,0 +1,246 @@
+// Package linescan is the bounded-memory substrate of the streaming log
+// codecs: it cuts an io.Reader into chunks that end on line boundaries
+// and fans the chunks out to the internal/parallel pool, so a
+// multi-gigabyte log is decoded by concurrent shard workers while only
+// a few chunk buffers are resident at any moment.
+//
+// The determinism contract matches internal/parallel: chunk boundaries
+// depend only on the byte stream and the configured chunk size, shard
+// outputs are merged in chunk order (index-keyed, like the filter
+// cascade's tag merge), and the first parse error — with its 1-based
+// line number — is exactly the one a sequential scan of the same input
+// would report. The decoded result is byte-identical for any worker
+// count, including 1.
+package linescan
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/parallel"
+)
+
+// MaxLineBytes caps a single log line. The sequential readers impose
+// the same cap through bufio.Scanner's buffer limit; both paths surface
+// an over-long line as an error wrapping bufio.ErrTooLong that names
+// the offending line.
+const MaxLineBytes = 4 * 1024 * 1024
+
+// DefaultChunkBytes is the target chunk size of the parallel decode:
+// large enough to amortize dispatch, small enough that workers×chunks
+// stays far below campaign scale.
+const DefaultChunkBytes = 1 << 20
+
+// TooLongError returns the error both the sequential readers and the
+// parallel chunker report for a line exceeding the cap, wrapping
+// bufio.ErrTooLong so callers can errors.Is on it.
+func TooLongError(line int) error {
+	return fmt.Errorf("line %d: %w (line exceeds %d bytes)", line, bufio.ErrTooLong, MaxLineBytes)
+}
+
+// Options tunes DecodeAll. The zero value selects GOMAXPROCS workers
+// and DefaultChunkBytes chunks.
+type Options struct {
+	// Workers follows the module-wide Parallelism convention
+	// (0 = GOMAXPROCS, 1 = sequential; see internal/parallel).
+	Workers int
+	// ChunkBytes is the target chunk size; chunks grow past it only to
+	// reach the next line boundary. 0 selects DefaultChunkBytes.
+	ChunkBytes int
+}
+
+// ShardFunc decodes one chunk of whole lines whose first line has the
+// given 1-based number. On a malformed line it returns the values
+// decoded before the error plus an error naming the line, exactly as a
+// sequential scan would.
+type ShardFunc[T any] func(chunk []byte, firstLine int) ([]T, error)
+
+// shardOut pairs one chunk's decoded values with its parse error, so
+// the wave merge can recover sequential error semantics.
+type shardOut[T any] struct {
+	vals []T
+	err  error
+}
+
+// DecodeAll streams r through newShard-produced workers in waves of at
+// most Workers chunks and merges the decoded values in chunk order.
+// Each worker slot calls newShard once and reuses the returned ShardFunc
+// across waves, so shards may keep worker-local state (e.g. string
+// intern tables); newShard itself may be called from concurrent
+// goroutines and must not touch shared mutable state. Reads stay bounded: one wave of chunk buffers is
+// resident at a time. The returned slice and error match a sequential
+// decode of the same stream byte for byte.
+func DecodeAll[T any](r io.Reader, opts Options, newShard func() ShardFunc[T]) ([]T, error) {
+	w := parallel.Workers(opts.Workers)
+	size := opts.ChunkBytes
+	if size <= 0 {
+		size = DefaultChunkBytes
+	}
+	if size > MaxLineBytes {
+		size = MaxLineBytes
+	}
+	c := &chunker{r: r, chunkBytes: size, line: 1}
+	shards := make([]ShardFunc[T], w)
+	var out []T
+	for {
+		// Cut the next wave of chunks sequentially.
+		type chunk struct {
+			data      []byte
+			firstLine int
+		}
+		var wave []chunk
+		var readErr error
+		for len(wave) < w {
+			data, firstLine, err := c.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				readErr = err
+				break
+			}
+			wave = append(wave, chunk{data, firstLine})
+		}
+		if len(wave) == 0 {
+			return out, readErr
+		}
+		outs, _ := parallel.Map(context.Background(), w, len(wave), func(i int) (shardOut[T], error) {
+			if shards[i] == nil {
+				shards[i] = newShard()
+			}
+			vals, err := shards[i](wave[i].data, wave[i].firstLine)
+			return shardOut[T]{vals: vals, err: err}, nil
+		})
+		for _, so := range outs {
+			out = append(out, so.vals...)
+			if so.err != nil {
+				// Sequential semantics: values decoded before the first bad
+				// line survive, everything after it is discarded.
+				return out, so.err
+			}
+		}
+		if readErr != nil {
+			return out, readErr
+		}
+	}
+}
+
+// ForEachLine iterates the whole lines of a chunk, calling fn with each
+// line (trailing \r stripped, to match bufio.ScanLines) and its 1-based
+// number. A final line without a trailing newline is still visited,
+// matching bufio.Scanner. Iteration stops at fn's first error.
+func ForEachLine(chunk []byte, firstLine int, fn func(line []byte, n int) error) error {
+	n := firstLine
+	for len(chunk) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(chunk, '\n'); i >= 0 {
+			line, chunk = chunk[:i], chunk[i+1:]
+		} else {
+			line, chunk = chunk, nil
+		}
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if err := fn(line, n); err != nil {
+			return err
+		}
+		n++
+	}
+	return nil
+}
+
+// chunker cuts the stream into line-aligned chunks. Not safe for
+// concurrent use; DecodeAll drives it from one goroutine.
+type chunker struct {
+	r          io.Reader
+	chunkBytes int
+	carry      []byte // partial trailing line of the previous chunk
+	line       int    // 1-based number of the next chunk's first line
+	err        error  // sticky read error (io.EOF included)
+	zeroReads  int    // consecutive (0, nil) reads, for the no-progress guard
+}
+
+// next returns the next line-aligned chunk and the 1-based number of
+// its first line. The returned buffer is freshly allocated and owned by
+// the caller (chunks of one wave are parsed concurrently). Returns
+// io.EOF after the last chunk.
+func (c *chunker) next() ([]byte, int, error) {
+	if len(c.carry) == 0 && c.err != nil {
+		return nil, 0, c.err
+	}
+	buf := make([]byte, 0, c.chunkBytes+len(c.carry))
+	buf = append(buf, c.carry...)
+	c.carry = nil
+	for len(buf) < c.chunkBytes && c.err == nil {
+		buf = c.fill(buf)
+	}
+	// Cut at the last line boundary; grow when the chunk is one giant
+	// partial line.
+	cut := bytes.LastIndexByte(buf, '\n')
+	for cut < 0 && c.err == nil {
+		if len(buf) > MaxLineBytes {
+			return nil, 0, TooLongError(c.line)
+		}
+		grown := c.fill(buf)
+		cut = lastIndexFrom(grown, len(buf))
+		buf = grown
+	}
+	if cut < 0 {
+		if len(buf) > MaxLineBytes {
+			return nil, 0, TooLongError(c.line)
+		}
+		if len(buf) == 0 {
+			if c.err != nil {
+				return nil, 0, c.err
+			}
+			return nil, 0, io.EOF
+		}
+		// Final line without a trailing newline.
+		first := c.line
+		c.line++
+		return buf, first, nil
+	}
+	c.carry = append([]byte(nil), buf[cut+1:]...)
+	data := buf[:cut+1]
+	first := c.line
+	c.line += bytes.Count(data, nlSep)
+	return data, first, nil
+}
+
+var nlSep = []byte{'\n'}
+
+// fill reads once into buf's spare capacity (growing it when full) and
+// records a sticky error.
+func (c *chunker) fill(buf []byte) []byte {
+	if len(buf) == cap(buf) {
+		grown := make([]byte, len(buf), cap(buf)+c.chunkBytes)
+		copy(grown, buf)
+		buf = grown
+	}
+	n, err := c.r.Read(buf[len(buf):cap(buf)])
+	if n > 0 {
+		buf = buf[:len(buf)+n]
+		c.zeroReads = 0
+	} else if err == nil {
+		// Tolerate sporadic (0, nil) reads like bufio does, but refuse to
+		// spin on a reader that never makes progress.
+		if c.zeroReads++; c.zeroReads >= 100 {
+			c.err = io.ErrNoProgress
+		}
+	}
+	if err != nil {
+		c.err = err
+	}
+	return buf
+}
+
+// lastIndexFrom finds the last '\n' at or after position from.
+func lastIndexFrom(b []byte, from int) int {
+	if i := bytes.LastIndexByte(b[from:], '\n'); i >= 0 {
+		return from + i
+	}
+	return -1
+}

@@ -1,0 +1,190 @@
+package linescan
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// decodeLines decodes every line into "line:content" strings, the
+// simplest shard that exposes line numbering and ordering.
+func decodeLines(opts Options) func() ShardFunc[string] {
+	return func() ShardFunc[string] {
+		return func(chunk []byte, firstLine int) ([]string, error) {
+			var out []string
+			err := ForEachLine(chunk, firstLine, func(line []byte, n int) error {
+				if bytes.Equal(line, []byte("BAD")) {
+					return fmt.Errorf("line %d: bad", n)
+				}
+				if len(line) == 0 {
+					return nil // blank lines are skipped, like the log readers
+				}
+				out = append(out, fmt.Sprintf("%d:%s", n, line))
+				return nil
+			})
+			return out, err
+		}
+	}
+}
+
+func seqDecode(t *testing.T, in string) ([]string, error) {
+	t.Helper()
+	// The oracle: a plain bufio.Scanner walk with the same skip rules.
+	s := bufio.NewScanner(strings.NewReader(in))
+	var out []string
+	n := 0
+	for s.Scan() {
+		n++
+		line := s.Text()
+		if line == "BAD" {
+			return out, fmt.Errorf("line %d: bad", n)
+		}
+		if line == "" {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%d:%s", n, line))
+	}
+	if err := s.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func buildInput(lines int) string {
+	var b strings.Builder
+	for i := 0; i < lines; i++ {
+		switch i % 7 {
+		case 3:
+			b.WriteString("\n") // blank line
+		case 5:
+			fmt.Fprintf(&b, "padded-%d-%s\n", i, strings.Repeat("x", i%97))
+		default:
+			fmt.Fprintf(&b, "rec-%d\n", i)
+		}
+	}
+	return b.String()
+}
+
+func TestDecodeAllMatchesSequential(t *testing.T) {
+	inputs := []string{
+		"",
+		"\n",
+		"one",
+		"one\n",
+		"a\nb\nc",
+		"a\r\nb\r\n", // CR-LF must match bufio.ScanLines
+		buildInput(500),
+		buildInput(2000),
+	}
+	for _, in := range inputs {
+		want, wantErr := seqDecode(t, in)
+		for _, workers := range []int{1, 2, 3, 8} {
+			for _, chunk := range []int{1, 7, 64, 1 << 20} {
+				got, err := DecodeAll(strings.NewReader(in), Options{Workers: workers, ChunkBytes: chunk}, decodeLines(Options{}))
+				if (err == nil) != (wantErr == nil) || (err != nil && err.Error() != wantErr.Error()) {
+					t.Fatalf("w=%d chunk=%d: err %v, want %v", workers, chunk, err, wantErr)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("w=%d chunk=%d len(in)=%d: got %d lines, want %d", workers, chunk, len(in), len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("w=%d chunk=%d: line %d = %q, want %q", workers, chunk, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeAllErrorMatchesSequential(t *testing.T) {
+	in := buildInput(100) + "BAD\n" + buildInput(50)
+	want, wantErr := seqDecode(t, in)
+	if wantErr == nil {
+		t.Fatal("oracle did not error")
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := DecodeAll(strings.NewReader(in), Options{Workers: workers, ChunkBytes: 64}, decodeLines(Options{}))
+		if err == nil || err.Error() != wantErr.Error() {
+			t.Fatalf("w=%d: err %v, want %v", workers, err, wantErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("w=%d: %d values before error, want %d", workers, len(got), len(want))
+		}
+	}
+}
+
+func TestDecodeAllTooLongLine(t *testing.T) {
+	in := "ok-1\nok-2\n" + strings.Repeat("y", MaxLineBytes+DefaultChunkBytes+2)
+	_, err := DecodeAll(strings.NewReader(in), Options{Workers: 2}, decodeLines(Options{}))
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("want bufio.ErrTooLong, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should name line 3: %v", err)
+	}
+}
+
+// errReader fails mid-stream; the failure must surface after the values
+// decoded before it.
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestDecodeAllReadError(t *testing.T) {
+	boom := errors.New("boom")
+	got, err := DecodeAll(&errReader{data: []byte("a\nb\nc\n"), err: boom}, Options{Workers: 2, ChunkBytes: 4}, decodeLines(Options{}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("decoded %d values before the read error, want 3", len(got))
+	}
+}
+
+func TestDecodeAllNoProgressReader(t *testing.T) {
+	_, err := DecodeAll(io.MultiReader(strings.NewReader("a\n"), neverReader{}), Options{Workers: 1}, decodeLines(Options{}))
+	if !errors.Is(err, io.ErrNoProgress) {
+		t.Fatalf("want ErrNoProgress, got %v", err)
+	}
+}
+
+type neverReader struct{}
+
+func (neverReader) Read(p []byte) (int, error) { return 0, nil }
+
+func TestShardStateIsPerWorker(t *testing.T) {
+	// Each worker slot must get its own shard; a shared counter would
+	// race (caught under -race) and break the per-shard invariant.
+	in := buildInput(1000)
+	var made atomic.Int64
+	_, err := DecodeAll(strings.NewReader(in), Options{Workers: 4, ChunkBytes: 128}, func() ShardFunc[int] {
+		made.Add(1)
+		seen := 0
+		return func(chunk []byte, firstLine int) ([]int, error) {
+			seen++
+			return []int{seen}, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := made.Load(); n < 1 || n > 4 {
+		t.Errorf("made %d shards, want 1..4", n)
+	}
+}

@@ -1,0 +1,94 @@
+package raslog
+
+// The pre-streaming codec, kept verbatim as the oracle for the
+// byte-compatibility tests in codec_test.go: AppendLine must emit the
+// same bytes legacyMarshalLine did, and UnmarshalFields must accept the
+// same well-formed lines with the same decoded record. (The new parser
+// is deliberately stricter on the RecID field — fmt.Sscanf tolerated
+// trailing junk like "1x" — which the fuzz contract permits: rejecting
+// more is always allowed, accepting differently is not.)
+
+import (
+	"fmt"
+	"strings"
+)
+
+func legacyEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, fieldSep, `\p`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func legacyUnescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'p':
+				b.WriteString(fieldSep)
+			case 'n':
+				b.WriteString("\n")
+			case '\\':
+				b.WriteString(`\`)
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func legacyMarshalLine(r Record) string {
+	fields := []string{
+		fmt.Sprintf("%d", r.RecID),
+		legacyEscape(r.MsgID),
+		r.Component.String(),
+		legacyEscape(r.SubComponent),
+		legacyEscape(r.ErrCode),
+		r.Severity.String(),
+		FormatEventTime(r.EventTime),
+		legacyEscape(r.Flags),
+		legacyEscape(r.Location),
+		legacyEscape(r.Serial),
+		legacyEscape(r.Message),
+	}
+	return strings.Join(fields, fieldSep)
+}
+
+func legacyUnmarshalLine(line string) (Record, error) {
+	parts := strings.Split(line, fieldSep)
+	if len(parts) != numFields {
+		return Record{}, fmt.Errorf("%w: %d fields, want %d", ErrBadRecord, len(parts), numFields)
+	}
+	var r Record
+	if _, err := fmt.Sscanf(parts[0], "%d", &r.RecID); err != nil {
+		return Record{}, fmt.Errorf("%w: recid %q", ErrBadRecord, parts[0])
+	}
+	r.MsgID = legacyUnescape(parts[1])
+	comp, err := ParseComponent(parts[2])
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	r.Component = comp
+	r.SubComponent = legacyUnescape(parts[3])
+	r.ErrCode = legacyUnescape(parts[4])
+	sev, err := ParseSeverity(parts[5])
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	r.Severity = sev
+	t, err := ParseEventTime(parts[6])
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: event time %q", ErrBadRecord, parts[6])
+	}
+	r.EventTime = t
+	r.Flags = legacyUnescape(parts[7])
+	r.Location = legacyUnescape(parts[8])
+	r.Serial = legacyUnescape(parts[9])
+	r.Message = legacyUnescape(parts[10])
+	return r, nil
+}

@@ -1,0 +1,46 @@
+package raslog
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/linescan"
+)
+
+// ReadAllParallel decodes a RAS log stream with workers parallel shards
+// (0 = GOMAXPROCS, 1 = sequential; the module-wide convention). The
+// stream is cut into line-aligned chunks, each shard parses its chunks
+// with its own intern table, and the results merge in chunk order — the
+// returned records and error are byte-identical to ReadAll on the same
+// input for any worker count.
+func ReadAllParallel(r io.Reader, workers int) ([]Record, error) {
+	return ReadMatchingParallel(r, workers, nil)
+}
+
+// ReadMatchingParallel is ReadAllParallel with a per-record filter
+// applied inside the shards, so records the caller would drop (e.g.
+// everything below FATAL in the co-analysis pipeline) never reach the
+// merged slice. A nil keep retains every record. keep runs concurrently
+// and must not touch shared mutable state.
+func ReadMatchingParallel(r io.Reader, workers int, keep func(*Record) bool) ([]Record, error) {
+	return linescan.DecodeAll(r, linescan.Options{Workers: workers}, func() linescan.ShardFunc[Record] {
+		fs := fieldScratch{it: newIntern()}
+		return func(chunk []byte, firstLine int) ([]Record, error) {
+			var out []Record
+			err := linescan.ForEachLine(chunk, firstLine, func(line []byte, n int) error {
+				if len(line) == 0 {
+					return nil
+				}
+				var rec Record
+				if err := rec.unmarshalFields(line, &fs); err != nil {
+					return fmt.Errorf("line %d: %w", n, err)
+				}
+				if keep == nil || keep(&rec) {
+					out = append(out, rec)
+				}
+				return nil
+			})
+			return out, err
+		}
+	})
+}

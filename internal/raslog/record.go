@@ -3,12 +3,20 @@
 // System (CMCS): the record schema, the event-time format, a streaming
 // line-oriented serialization, and an in-memory store with the query
 // operations the co-analysis pipeline needs.
+//
+// The line codec is allocation-conscious: UnmarshalFields parses a
+// []byte line with an index-based field scanner (no strings.Split, no
+// fmt scanning), AppendLine marshals into a caller-supplied buffer, and
+// the streaming Reader amortizes the remaining per-record string
+// allocations through a field intern table — RAS streams repeat MsgIDs,
+// ERRCODEs, locations and flags millions of times.
 package raslog
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"strings"
+	"strconv"
 	"time"
 )
 
@@ -50,12 +58,30 @@ func (s Severity) String() string {
 	return "UNKNOWN"
 }
 
+// parseSeverityBytes matches the CMCS severity spellings without
+// allocating (the compiler optimizes the string(b) switch).
+func parseSeverityBytes(b []byte) (Severity, bool) {
+	switch string(b) {
+	case "DEBUG":
+		return SevDebug, true
+	case "TRACE":
+		return SevTrace, true
+	case "INFO":
+		return SevInfo, true
+	case "WARNING":
+		return SevWarning, true
+	case "ERROR":
+		return SevError, true
+	case "FATAL":
+		return SevFatal, true
+	}
+	return SevUnknown, false
+}
+
 // ParseSeverity parses the CMCS spelling of a severity.
 func ParseSeverity(s string) (Severity, error) {
-	for sev, name := range severityNames {
-		if name == s {
-			return sev, nil
-		}
+	if sev, ok := parseSeverityBytes([]byte(s)); ok {
+		return sev, nil
 	}
 	return SevUnknown, fmt.Errorf("raslog: unknown severity %q", s)
 }
@@ -102,12 +128,32 @@ func (c Component) String() string {
 	return "UNKNOWN"
 }
 
+// parseComponentBytes matches the CMCS component spellings without
+// allocating.
+func parseComponentBytes(b []byte) (Component, bool) {
+	switch string(b) {
+	case "APPLICATION":
+		return CompApplication, true
+	case "KERNEL":
+		return CompKernel, true
+	case "MC":
+		return CompMC, true
+	case "MMCS":
+		return CompMMCS, true
+	case "BAREMETAL":
+		return CompBareMetal, true
+	case "CARD":
+		return CompCard, true
+	case "DIAGS":
+		return CompDiags, true
+	}
+	return CompUnknown, false
+}
+
 // ParseComponent parses the CMCS spelling of a component.
 func ParseComponent(s string) (Component, error) {
-	for c, name := range componentNames {
-		if name == s {
-			return c, nil
-		}
+	if c, ok := parseComponentBytes([]byte(s)); ok {
+		return c, nil
 	}
 	return CompUnknown, fmt.Errorf("raslog: unknown component %q", s)
 }
@@ -124,6 +170,88 @@ func FormatEventTime(t time.Time) string {
 // ParseEventTime parses a CMCS timestamp.
 func ParseEventTime(s string) (time.Time, error) {
 	return time.Parse(EventTimeLayout, s)
+}
+
+// parseEventTimeBytes is the allocation-free fast path for the
+// fixed-width CMCS timestamp. It accepts exactly what time.Parse
+// accepts for EventTimeLayout (fixed-width digits, in-range calendar
+// fields); callers fall back to ParseEventTime when it reports !ok.
+func parseEventTimeBytes(b []byte) (time.Time, bool) {
+	// 2006-01-02-15.04.05.000000 — 26 bytes, separators at fixed offsets.
+	if len(b) != 26 || b[4] != '-' || b[7] != '-' || b[10] != '-' || b[13] != '.' || b[16] != '.' || b[19] != '.' {
+		return time.Time{}, false
+	}
+	year, ok1 := atoiFixed(b[0:4])
+	month, ok2 := atoiFixed(b[5:7])
+	day, ok3 := atoiFixed(b[8:10])
+	hour, ok4 := atoiFixed(b[11:13])
+	min, ok5 := atoiFixed(b[14:16])
+	sec, ok6 := atoiFixed(b[17:19])
+	micro, ok7 := atoiFixed(b[20:26])
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) {
+		return time.Time{}, false
+	}
+	if month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 || min > 59 || sec > 59 {
+		return time.Time{}, false
+	}
+	t := time.Date(year, time.Month(month), day, hour, min, sec, micro*1000, time.UTC)
+	// time.Date normalizes out-of-range days (Feb 30 → Mar 2); time.Parse
+	// rejects them, so detect normalization and report !ok.
+	if t.Day() != day || t.Month() != time.Month(month) || t.Year() != year {
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+// atoiFixed parses an all-digit field.
+func atoiFixed(b []byte) (int, bool) {
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// parseInt64Bytes parses a full-field base-10 integer with optional
+// sign. It is stricter than the fmt scanning it replaced (no leading
+// whitespace, no trailing junk); marshaled logs were never affected.
+func parseInt64Bytes(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i++
+		if len(b) == 1 {
+			return 0, false
+		}
+	}
+	var n uint64
+	for ; i < len(b); i++ {
+		c := b[i] - '0'
+		if c > 9 {
+			return 0, false
+		}
+		if n > (1<<63)/10 { // would overflow uint64 below
+			return 0, false
+		}
+		n = n*10 + uint64(c)
+		if neg && n > 1<<63 {
+			return 0, false
+		}
+		if !neg && n > 1<<63-1 {
+			return 0, false
+		}
+	}
+	if neg {
+		return -int64(n), true
+	}
+	return int64(n), true
 }
 
 // Record is one RAS event record, mirroring the fields of the Intrepid
@@ -167,87 +295,205 @@ const numFields = 11
 // we escape them for robustness.
 const fieldSep = "|"
 
-func escape(s string) string {
-	s = strings.ReplaceAll(s, `\`, `\\`)
-	s = strings.ReplaceAll(s, fieldSep, `\p`)
-	s = strings.ReplaceAll(s, "\n", `\n`)
-	return s
+// appendEscaped appends s with the field escaping: backslash doubled,
+// '|' as `\p`, newline as `\n`.
+func appendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '|':
+			dst = append(dst, '\\', 'p')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
 }
 
-func unescape(s string) string {
-	var b strings.Builder
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\\' && i+1 < len(s) {
-			switch s[i+1] {
+// unescapeInto decodes the field escaping of b into dst (reused as
+// scratch) and returns the decoded bytes. The escaping rules mirror
+// appendEscaped, with the historical leniencies kept: an unknown escape
+// drops the backslash, a trailing lone backslash survives.
+func unescapeInto(dst []byte, b []byte) []byte {
+	dst = dst[:0]
+	for i := 0; i < len(b); i++ {
+		if b[i] == '\\' && i+1 < len(b) {
+			switch b[i+1] {
 			case 'p':
-				b.WriteString(fieldSep)
+				dst = append(dst, '|')
 			case 'n':
-				b.WriteString("\n")
+				dst = append(dst, '\n')
 			case '\\':
-				b.WriteString(`\`)
+				dst = append(dst, '\\')
 			default:
-				b.WriteByte(s[i+1])
+				dst = append(dst, b[i+1])
 			}
 			i++
 			continue
 		}
-		b.WriteByte(s[i])
+		dst = append(dst, b[i])
 	}
-	return b.String()
+	return dst
+}
+
+// intern deduplicates the retained field strings of a decode stream.
+// RAS logs repeat MsgIDs, ERRCODEs, locations, flags and even messages
+// millions of times; handing out one shared string per distinct value
+// removes nearly every per-record allocation. The table is bounded so
+// adversarial input degrades to plain allocation, never to unbounded
+// memory.
+type intern struct {
+	m map[string]string
+}
+
+const (
+	internMaxEntries  = 1 << 15
+	internMaxValueLen = 512
+)
+
+func newIntern() *intern { return &intern{m: make(map[string]string, 256)} }
+
+// str returns a string for b, shared across records when possible.
+func (it *intern) str(b []byte) string {
+	if it == nil || len(b) > internMaxValueLen {
+		return string(b)
+	}
+	if s, ok := it.m[string(b)]; ok { // no-alloc map probe
+		return s
+	}
+	s := string(b)
+	if len(it.m) < internMaxEntries {
+		it.m[s] = s
+	}
+	return s
+}
+
+// fieldScratch is the per-decoder reusable state: the unescape buffer
+// and the intern table.
+type fieldScratch struct {
+	buf []byte
+	it  *intern
+}
+
+// str decodes field b (unescaping only when needed) into a retained
+// string.
+func (fs *fieldScratch) str(b []byte) string {
+	if bytes.IndexByte(b, '\\') < 0 {
+		return fs.it.str(b)
+	}
+	fs.buf = unescapeInto(fs.buf, b)
+	return fs.it.str(fs.buf)
+}
+
+// AppendLine appends the record's one-line serialization to dst and
+// returns the extended buffer. It allocates only when dst lacks
+// capacity; the output is byte-identical to MarshalLine.
+func (r *Record) AppendLine(dst []byte) []byte {
+	dst = strconv.AppendInt(dst, r.RecID, 10)
+	dst = append(dst, '|')
+	dst = appendEscaped(dst, r.MsgID)
+	dst = append(dst, '|')
+	dst = append(dst, r.Component.String()...)
+	dst = append(dst, '|')
+	dst = appendEscaped(dst, r.SubComponent)
+	dst = append(dst, '|')
+	dst = appendEscaped(dst, r.ErrCode)
+	dst = append(dst, '|')
+	dst = append(dst, r.Severity.String()...)
+	dst = append(dst, '|')
+	dst = r.EventTime.UTC().AppendFormat(dst, EventTimeLayout)
+	dst = append(dst, '|')
+	dst = appendEscaped(dst, r.Flags)
+	dst = append(dst, '|')
+	dst = appendEscaped(dst, r.Location)
+	dst = append(dst, '|')
+	dst = appendEscaped(dst, r.Serial)
+	dst = append(dst, '|')
+	dst = appendEscaped(dst, r.Message)
+	return dst
 }
 
 // MarshalLine renders the record as one line of the log file.
 func (r Record) MarshalLine() string {
-	fields := []string{
-		fmt.Sprintf("%d", r.RecID),
-		escape(r.MsgID),
-		r.Component.String(),
-		escape(r.SubComponent),
-		escape(r.ErrCode),
-		r.Severity.String(),
-		FormatEventTime(r.EventTime),
-		escape(r.Flags),
-		escape(r.Location),
-		escape(r.Serial),
-		escape(r.Message),
-	}
-	return strings.Join(fields, fieldSep)
+	return string(r.AppendLine(make([]byte, 0, 160)))
 }
 
 // ErrBadRecord reports an unparseable RAS log line.
 var ErrBadRecord = errors.New("raslog: bad record line")
 
+// UnmarshalFields parses one line of the log file into r using an
+// index-based field scanner over the raw bytes: no field slice, no fmt
+// scanning, no intermediate strings except the retained fields. The
+// streaming Reader amortizes even those through its intern table.
+func (r *Record) UnmarshalFields(line []byte) error {
+	return r.unmarshalFields(line, &fieldScratch{})
+}
+
+func (r *Record) unmarshalFields(line []byte, fs *fieldScratch) error {
+	var f [numFields][]byte
+	n := 0
+	rest := line
+	for {
+		i := bytes.IndexByte(rest, '|')
+		if i < 0 {
+			if n < numFields {
+				f[n] = rest
+			}
+			n++
+			break
+		}
+		if n < numFields {
+			f[n] = rest[:i]
+		}
+		n++
+		rest = rest[i+1:]
+	}
+	if n != numFields {
+		return fmt.Errorf("%w: %d fields, want %d", ErrBadRecord, n, numFields)
+	}
+	id, ok := parseInt64Bytes(f[0])
+	if !ok {
+		return fmt.Errorf("%w: recid %q", ErrBadRecord, f[0])
+	}
+	comp, ok := parseComponentBytes(f[2])
+	if !ok {
+		return fmt.Errorf("%w: raslog: unknown component %q", ErrBadRecord, f[2])
+	}
+	sev, ok := parseSeverityBytes(f[5])
+	if !ok {
+		return fmt.Errorf("%w: raslog: unknown severity %q", ErrBadRecord, f[5])
+	}
+	t, ok := parseEventTimeBytes(f[6])
+	if !ok {
+		// The fast path is exact for well-formed timestamps; delegate
+		// near-misses to time.Parse so acceptance matches it bit for bit.
+		var err error
+		if t, err = ParseEventTime(string(f[6])); err != nil {
+			return fmt.Errorf("%w: event time %q", ErrBadRecord, f[6])
+		}
+	}
+	r.RecID = id
+	r.Component = comp
+	r.Severity = sev
+	r.EventTime = t
+	r.MsgID = fs.str(f[1])
+	r.SubComponent = fs.str(f[3])
+	r.ErrCode = fs.str(f[4])
+	r.Flags = fs.str(f[7])
+	r.Location = fs.str(f[8])
+	r.Serial = fs.str(f[9])
+	r.Message = fs.str(f[10])
+	return nil
+}
+
 // UnmarshalLine parses one line of the log file.
 func UnmarshalLine(line string) (Record, error) {
-	parts := strings.Split(line, fieldSep)
-	if len(parts) != numFields {
-		return Record{}, fmt.Errorf("%w: %d fields, want %d", ErrBadRecord, len(parts), numFields)
-	}
 	var r Record
-	if _, err := fmt.Sscanf(parts[0], "%d", &r.RecID); err != nil {
-		return Record{}, fmt.Errorf("%w: recid %q", ErrBadRecord, parts[0])
+	if err := r.UnmarshalFields([]byte(line)); err != nil {
+		return Record{}, err
 	}
-	r.MsgID = unescape(parts[1])
-	comp, err := ParseComponent(parts[2])
-	if err != nil {
-		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
-	}
-	r.Component = comp
-	r.SubComponent = unescape(parts[3])
-	r.ErrCode = unescape(parts[4])
-	sev, err := ParseSeverity(parts[5])
-	if err != nil {
-		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
-	}
-	r.Severity = sev
-	t, err := ParseEventTime(parts[6])
-	if err != nil {
-		return Record{}, fmt.Errorf("%w: event time %q", ErrBadRecord, parts[6])
-	}
-	r.EventTime = t
-	r.Flags = unescape(parts[7])
-	r.Location = unescape(parts[8])
-	r.Serial = unescape(parts[9])
-	r.Message = unescape(parts[10])
 	return r, nil
 }

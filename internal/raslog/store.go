@@ -2,17 +2,20 @@ package raslog
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/linescan"
 )
 
 // Writer streams records to an underlying io.Writer, one line each.
 type Writer struct {
 	w   *bufio.Writer
+	buf []byte
 	n   int
 	err error
 }
@@ -27,11 +30,9 @@ func (w *Writer) Write(r Record) error {
 	if w.err != nil {
 		return w.err
 	}
-	if _, err := w.w.WriteString(r.MarshalLine()); err != nil {
-		w.err = err
-		return err
-	}
-	if err := w.w.WriteByte('\n'); err != nil {
+	w.buf = r.AppendLine(w.buf[:0])
+	w.buf = append(w.buf, '\n')
+	if _, err := w.w.Write(w.buf); err != nil {
 		w.err = err
 		return err
 	}
@@ -50,34 +51,84 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader streams records from an underlying io.Reader.
+// Reader streams records from an underlying io.Reader. The idiomatic
+// loop is iterator-style, with a record that is reused across calls:
+//
+//	r := raslog.NewReader(f)
+//	for r.Next() {
+//	    use(r.Record()) // valid until the next call to Next
+//	}
+//	if err := r.Err(); err != nil { ... }
+//
+// Field strings are interned per reader, so holding on to a record's
+// fields (but not the *Record itself) past Next is cheap and safe.
 type Reader struct {
 	s    *bufio.Scanner
 	line int
+	rec  Record
+	fs   fieldScratch
+	err  error
+	done bool
 }
 
 // NewReader returns a Reader on r.
 func NewReader(r io.Reader) *Reader {
 	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 64*1024), 4*1024*1024)
-	return &Reader{s: s}
+	s.Buffer(make([]byte, 64*1024), linescan.MaxLineBytes)
+	return &Reader{s: s, fs: fieldScratch{it: newIntern()}}
 }
 
-// Read returns the next record, or io.EOF at end of input.
-func (r *Reader) Read() (Record, error) {
+// Next advances to the next record, skipping blank lines. It returns
+// false at end of input or on the first error; Err distinguishes the
+// two.
+func (r *Reader) Next() bool {
+	if r.done {
+		return false
+	}
 	for r.s.Scan() {
 		r.line++
-		line := r.s.Text()
-		if line == "" {
+		line := r.s.Bytes()
+		if len(line) == 0 {
 			continue
 		}
-		rec, err := UnmarshalLine(line)
-		if err != nil {
-			return Record{}, fmt.Errorf("line %d: %w", r.line, err)
+		if err := r.rec.unmarshalFields(line, &r.fs); err != nil {
+			r.err = fmt.Errorf("line %d: %w", r.line, err)
+			r.done = true
+			return false
 		}
-		return rec, nil
+		return true
 	}
+	r.done = true
 	if err := r.s.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stalls at the over-long line without consuming
+			// it, so the offending line is the one after the last good one.
+			err = linescan.TooLongError(r.line + 1)
+		}
+		r.err = err
+	}
+	return false
+}
+
+// Record returns the current record. The pointee is reused by Next;
+// copy the Record (its field strings are immutable and shared) to
+// retain it.
+func (r *Reader) Record() *Record { return &r.rec }
+
+// Err returns the first error encountered, if any. It never returns
+// io.EOF.
+func (r *Reader) Err() error { return r.err }
+
+// Line returns the 1-based line number of the current record.
+func (r *Reader) Line() int { return r.line }
+
+// Read returns the next record, or io.EOF at end of input. It is the
+// pre-streaming API, kept as a thin wrapper over Next.
+func (r *Reader) Read() (Record, error) {
+	if r.Next() {
+		return r.rec, nil
+	}
+	if err := r.Err(); err != nil {
 		return Record{}, err
 	}
 	return Record{}, io.EOF
@@ -86,16 +137,10 @@ func (r *Reader) Read() (Record, error) {
 // ReadAll drains the reader into a slice.
 func (r *Reader) ReadAll() ([]Record, error) {
 	var out []Record
-	for {
-		rec, err := r.Read()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return out, err
-		}
-		out = append(out, rec)
+	for r.Next() {
+		out = append(out, r.rec)
 	}
+	return out, r.Err()
 }
 
 // Store is an in-memory ordered collection of RAS records with the

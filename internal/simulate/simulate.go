@@ -6,6 +6,7 @@ package simulate
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/errcat"
 	"repro/internal/faultgen"
@@ -91,4 +92,33 @@ func Run(cfg Config) (*Campaign, error) {
 		Jobs:    joblog.NewLog(res.Jobs),
 		Result:  res,
 	}, nil
+}
+
+// WriteLogs streams the campaign's two logs to the given writers in the
+// module's line formats (the files cmd/coanalyze and repro.Load read
+// back). Either writer may be nil to skip that log.
+func (c *Campaign) WriteLogs(rasW, jobW io.Writer) error {
+	if rasW != nil {
+		w := raslog.NewWriter(rasW)
+		for _, rec := range c.RAS.All() {
+			if err := w.Write(rec); err != nil {
+				return fmt.Errorf("simulate: writing RAS log: %w", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("simulate: writing RAS log: %w", err)
+		}
+	}
+	if jobW != nil {
+		w := joblog.NewWriter(jobW)
+		for _, j := range c.Jobs.All() {
+			if err := w.Write(j); err != nil {
+				return fmt.Errorf("simulate: writing job log: %w", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("simulate: writing job log: %w", err)
+		}
+	}
+	return nil
 }

@@ -95,13 +95,15 @@ func Run(cfg Config) (*Report, error) {
 
 // Load analyzes externally supplied logs in this module's line formats
 // (see internal/raslog and internal/joblog for the schema; cmd/bgpgen
-// writes compatible files).
+// writes compatible files). Both logs are decoded by the sharded
+// streaming codec honoring cfg.Parallelism; the resulting analysis is
+// byte-identical at every worker count.
 func Load(cfg Config, rasLog, jobLog io.Reader) (*Report, error) {
-	recs, err := raslog.NewReader(rasLog).ReadAll()
+	recs, err := raslog.ReadAllParallel(rasLog, cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("repro: reading RAS log: %w", err)
 	}
-	jobs, err := joblog.NewReader(jobLog).ReadAll()
+	jobs, err := joblog.ReadAllParallel(jobLog, cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("repro: reading job log: %w", err)
 	}

@@ -5,6 +5,32 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Drift check: this script mirrors `make check` (plus fuzzing); the
+# comment used to be the only enforcement. CI_STEPS is the set of make
+# check steps this script implements — if the Makefile's check recipe
+# gains or loses a step without this script following, fail loudly.
+CI_STEPS="build vet lint test race"
+MAKE_STEPS=$(sed -n 's/^check:[[:space:]]*//p' Makefile)
+echo "== drift check (ci.sh vs make check)"
+for s in $MAKE_STEPS; do
+	case " $CI_STEPS " in
+	*" $s "*) ;;
+	*)
+		echo "ci.sh drift: 'make check' runs '$s' but ci.sh does not — update ci.sh (and CI_STEPS)" >&2
+		exit 1
+		;;
+	esac
+done
+for s in $CI_STEPS; do
+	case " $MAKE_STEPS " in
+	*" $s "*) ;;
+	*)
+		echo "ci.sh drift: ci.sh runs '$s' but 'make check' does not — update the Makefile check recipe" >&2
+		exit 1
+		;;
+	esac
+done
+
 echo "== go build"
 go build ./...
 
