@@ -43,24 +43,27 @@ lint-baseline:
 
 check: build vet lint test race
 
-# Short fuzz smoke of the line parsers and the location-code grammar
-# (the checked-in corpora and seed inputs always run as part of `test`;
-# this explores further).
+# Short fuzz smoke of the line parsers, the location-code grammar and
+# the symbol-table round trip (the checked-in corpora and seed inputs
+# always run as part of `test`; this explores further). The symtab
+# target runs under -race: its fuzz body exercises frozen snapshots
+# under concurrent readers.
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/raslog -fuzz FuzzParseRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/joblog -fuzz FuzzParseJob -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bgp -fuzz FuzzParseLocation -fuzztime $(FUZZTIME)
+	$(GO) test -race ./internal/symtab -fuzz FuzzSymtab -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # Regenerate the committed benchmark baseline the CI `bench` job gates
 # against (fixed -benchtime/-count so reports stay diffable). Like
-# lint-baseline, review the BENCH_PR4.json diff like code — a looser
+# lint-baseline, review the BENCH_PR5.json diff like code — a looser
 # baseline is a perf regression being waved through.
 bench-baseline:
-	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR4.json
+	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR5.json
 
 # Regenerate the golden report after an intentional output change.
 golden:

@@ -18,6 +18,7 @@ import (
 	"repro/internal/raslog"
 	"repro/internal/sched"
 	"repro/internal/simulate"
+	"repro/internal/symtab"
 	"repro/internal/workload"
 )
 
@@ -113,7 +114,7 @@ func BenchmarkFigure1_Pipeline(b *testing.B) {
 	cfg := filter.DefaultConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		evs, _ := filter.Pipeline(cfg, fatal)
+		evs, _ := filter.Pipeline(cfg, symtab.NewTable(), fatal)
 		if len(evs) == 0 {
 			b.Fatal("pipeline produced no events")
 		}
@@ -163,7 +164,7 @@ func BenchmarkStreamPipeline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		evs, st, err := filter.PipelineFromLog(cfg, bytes.NewReader(corpus))
+		evs, st, err := filter.PipelineFromLog(cfg, symtab.NewTable(), bytes.NewReader(corpus))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,6 +194,28 @@ func BenchmarkObs2_Classification(b *testing.B) {
 		cc := rep.Analysis().ClassificationCensus()
 		if cc.SystemTypes == 0 {
 			b.Fatal("no system types")
+		}
+	}
+}
+
+// BenchmarkCoanalysisGrouping measures the grouping-heavy co-analysis
+// stages re-keyed on typed symbol IDs: per-executable interruption
+// grouping (bitset over ExecID), per-job cause attribution (dense
+// JobID-indexed state) and the per-code propagation set.
+func BenchmarkCoanalysisGrouping(b *testing.B) {
+	rep := benchReport(b)
+	a := rep.Analysis()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.DistinctInterruptedJobs() == 0 {
+			b.Fatal("no interrupted jobs")
+		}
+		if rs := a.Resubmissions(3); rs.MaxK == 0 {
+			b.Fatal("no resubmission stats")
+		}
+		if ps := a.Propagation(); ps.InterruptingEvents == 0 {
+			b.Fatal("no interrupting events")
 		}
 	}
 }

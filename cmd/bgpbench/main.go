@@ -1,24 +1,25 @@
 // Command bgpbench is the benchmark harness behind the CI perf gate:
-// it runs the named codec + pipeline benchmark subset with a fixed
-// -benchtime/-count, emits a machine-readable JSON report (schema
-// repro/bgpbench/v1, see BENCH_PR4.json at the repo root), and compares
+// it runs the named codec + pipeline + grouping benchmark subset with a
+// fixed -benchtime/-count, emits a machine-readable JSON report (schema
+// repro/bgpbench/v1, see BENCH_PR5.json at the repo root), and compares
 // a fresh report against a committed baseline with a tolerance gate.
 //
 // Usage:
 //
-//	bgpbench run -out BENCH_PR4.json            # collect a report
+//	bgpbench run -out BENCH_PR5.json            # collect a report
 //	bgpbench run -count 5 -benchtime 2000x -out bench.json
-//	bgpbench compare -baseline BENCH_PR4.json -current bench.json
+//	bgpbench compare -baseline BENCH_PR5.json -current bench.json
 //
 // Exit codes: 0 pass (or comparison skipped on host mismatch),
 // 1 regression detected, 2 harness failure.
 //
-// The gate: a benchmark regresses when its ns/op exceeds the baseline
-// by more than -tolerance (default 25%), or when its allocs/op grows at
-// all. When the current host metadata differs from the baseline's (Go
-// minor version, OS, arch or CPU count), the comparison is skipped with
-// a warning — cross-host ns/op deltas are noise, and a skipped gate is
-// visible in the CI log rather than silently green on bad data.
+// The gate: a benchmark regresses when its ns/op or B/op exceeds the
+// baseline by more than -tolerance (default 25%), or when its allocs/op
+// grows at all. When the current host metadata differs from the
+// baseline's (Go minor version, OS, arch or CPU count), the comparison
+// is skipped with a warning — cross-host ns/op deltas are noise, and a
+// skipped gate is visible in the CI log rather than silently green on
+// bad data.
 package main
 
 import (
@@ -33,7 +34,9 @@ import (
 
 // benchSubset is the named benchmark set the gate watches: the codec
 // microbenchmarks (with their pre-rewrite *Legacy counterparts so the
-// speedup itself is regression-gated) and the streaming pipeline.
+// speedup itself is regression-gated), the streaming pipeline, and the
+// symtab-keyed grouping paths (the filter cascade against its
+// string-keyed legacy reference, and the co-analysis grouping stages).
 var benchSubset = []string{
 	"BenchmarkRASUnmarshal",
 	"BenchmarkRASUnmarshalFields",
@@ -45,10 +48,13 @@ var benchSubset = []string{
 	"BenchmarkJobUnmarshalLegacy",
 	"BenchmarkJobMarshal",
 	"BenchmarkStreamPipeline",
+	"BenchmarkFilterCascade",
+	"BenchmarkFilterCascadeLegacy",
+	"BenchmarkCoanalysisGrouping",
 }
 
 // benchPackages are the packages the subset lives in.
-var benchPackages = []string{"./internal/raslog", "./internal/joblog", "."}
+var benchPackages = []string{"./internal/raslog", "./internal/joblog", "./internal/filter", "."}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -151,7 +157,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bgpbench compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		basePath  = fs.String("baseline", "BENCH_PR4.json", "committed baseline report")
+		basePath  = fs.String("baseline", "BENCH_PR5.json", "committed baseline report")
 		curPath   = fs.String("current", "", "fresh report to gate (required)")
 		tolerance = fs.Float64("tolerance", 0.25, "allowed ns/op growth fraction")
 	)
@@ -179,7 +185,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	}
 	regs := compareReports(baseline, current, *tolerance)
 	if len(regs) == 0 {
-		fmt.Fprintf(stdout, "bgpbench: OK — %d benchmarks within tolerance (%.0f%% ns/op, 0 allocs/op growth)\n",
+		fmt.Fprintf(stdout, "bgpbench: OK — %d benchmarks within tolerance (%.0f%% ns/op and B/op, 0 allocs/op growth)\n",
 			len(baseline.Benchmarks), 100**tolerance)
 		return 0
 	}

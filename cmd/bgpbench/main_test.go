@@ -110,6 +110,19 @@ func TestCompareGate(t *testing.T) {
 		t.Fatalf("allocs regression not flagged: %+v", regs)
 	}
 
+	// >25% B/op: fail even with flat ns/op and allocs/op.
+	base.Benchmarks[0].BytesPerOp = 1000
+	cur.Benchmarks[0].BytesPerOp = 1300
+	cur.Benchmarks[1].AllocsPerOp = 3
+	regs = compareReports(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0].Reason, "B/op") {
+		t.Fatalf("B/op regression not flagged: %+v", regs)
+	}
+	cur.Benchmarks[0].BytesPerOp = 1200
+	if regs := compareReports(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("in-tolerance B/op growth flagged: %+v", regs)
+	}
+
 	// Dropped benchmark: fail.
 	cur = report(h, cur.Benchmarks[0])
 	regs = compareReports(base, cur, 0.25)

@@ -215,10 +215,10 @@ type Regression struct {
 }
 
 // compareReports gates current against baseline: a benchmark regresses
-// when ns/op grows beyond tolerance (fraction, e.g. 0.25) or allocs/op
-// grows at all. Benchmarks present only in the baseline are reported as
-// missing (a silently dropped benchmark must not pass the gate);
-// benchmarks new in current are ignored until the baseline is
+// when ns/op or B/op grows beyond tolerance (fraction, e.g. 0.25) or
+// allocs/op grows at all. Benchmarks present only in the baseline are
+// reported as missing (a silently dropped benchmark must not pass the
+// gate); benchmarks new in current are ignored until the baseline is
 // regenerated.
 func compareReports(baseline, current *Report, tolerance float64) []Regression {
 	cur := map[string]Benchmark{}
@@ -237,6 +237,11 @@ func compareReports(baseline, current *Report, tolerance float64) []Regression {
 			regs = append(regs, Regression{k, fmt.Sprintf(
 				"ns/op %.1f vs baseline %.1f (+%.1f%%, tolerance %.0f%%)",
 				c.NsPerOp, base.NsPerOp, 100*(c.NsPerOp/base.NsPerOp-1), 100*tolerance)})
+		}
+		if base.BytesPerOp > 0 && c.BytesPerOp > base.BytesPerOp*(1+tolerance) {
+			regs = append(regs, Regression{k, fmt.Sprintf(
+				"B/op %.0f vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				c.BytesPerOp, base.BytesPerOp, 100*(c.BytesPerOp/base.BytesPerOp-1), 100*tolerance)})
 		}
 		if c.AllocsPerOp > base.AllocsPerOp {
 			regs = append(regs, Regression{k, fmt.Sprintf(

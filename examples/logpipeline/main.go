@@ -16,6 +16,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/raslog"
 	"repro/internal/simulate"
+	"repro/internal/symtab"
 )
 
 func main() {
@@ -62,7 +63,8 @@ func main() {
 	// compression each stage buys. (filter.PipelineFromLog does the
 	// stream + cascade in one call, on parallel decode shards.)
 	cfg := filter.DefaultConfig()
-	t := filter.Temporal(cfg.TemporalWindow, fatal)
+	tab := symtab.NewTable()
+	t := filter.Temporal(tab, cfg.TemporalWindow, fatal)
 	s := filter.Spatial(cfg.SpatialWindow, t)
 	rules := filter.MineCausality(cfg, s)
 	c := filter.Causality(cfg.CausalityWindow, rules, s)

@@ -38,7 +38,7 @@ func main() {
 	}
 	var infos []codeInfo
 	for code, id := range a.Identification {
-		infos = append(infos, codeInfo{code, id, a.Classification[code].Class})
+		infos = append(infos, codeInfo{a.Syms.Errcodes.Name(code), id, a.Classification[code].Class})
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].id.Events > infos[j].id.Events })
 	ignorable, actionable := 0, 0

@@ -142,7 +142,7 @@ func (r *Report) RenderEventTypes(w io.Writer) error {
 	}
 	rows := make([]row, 0, len(a.Identification))
 	for code, id := range a.Identification {
-		rows = append(rows, row{code, id, a.Classification[code]})
+		rows = append(rows, row{a.Syms.Errcodes.Name(code), id, a.Classification[code]})
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].id.Events != rows[j].id.Events {

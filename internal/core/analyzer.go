@@ -19,6 +19,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/joblog"
 	"repro/internal/raslog"
+	"repro/internal/symtab"
 )
 
 // Config parameterizes the co-analysis.
@@ -52,6 +53,10 @@ type Interruption struct {
 	Job joblog.Job
 	// Event is the fatal event that terminated it.
 	Event *filter.Event
+	// Exec and JobID are the dictionary IDs of Job.ExecFile and Job.ID;
+	// the grouping stages key on these instead of re-hashing strings.
+	Exec  symtab.ExecID
+	JobID symtab.JobID
 }
 
 // Analysis is the result of the full co-analysis pipeline.
@@ -67,17 +72,23 @@ type Analysis struct {
 	FilterStats filter.Stats
 	// Interruptions are the matched job interruptions, in event order.
 	Interruptions []Interruption
-	// Identification classifies each ERRCODE by the three-case rule.
-	Identification map[string]Identification
+	// Identification classifies each ERRCODE by the three-case rule,
+	// keyed by the code's dictionary ID (resolve names via Syms).
+	Identification map[symtab.ErrcodeID]Identification
 	// Classification assigns each fatal ERRCODE a system/application
-	// origin.
-	Classification map[string]Classification
+	// origin, keyed like Identification.
+	Classification map[symtab.ErrcodeID]Classification
 	// Independent are the events surviving job-related filtering.
 	Independent []*filter.Event
 	// JobRedundant are the events job-related filtering removed.
 	JobRedundant []*filter.Event
+	// Syms resolves every typed ID in the result (event codes, locations,
+	// executables, job IDs) back to its name. Safe for concurrent
+	// readers.
+	Syms *symtab.Snapshot
 
 	// internal indexes
+	tab          *symtab.Table
 	interByEvent map[*filter.Event][]int // indices into Interruptions
 	occupancy    *occupancyIndex
 	span         campaignSpan
@@ -113,7 +124,7 @@ func Analyze(cfg Config, ras *raslog.Store, jobs *joblog.Log) (*Analysis, error)
 	if cfg.Filter.Parallelism == 0 {
 		cfg.Filter.Parallelism = cfg.Parallelism
 	}
-	a := &Analysis{cfg: cfg, Jobs: jobs}
+	a := &Analysis{cfg: cfg, Jobs: jobs, tab: symtab.NewTable()}
 
 	// Campaign span: union of both logs.
 	rFirst, rLast := ras.Span()
@@ -126,11 +137,19 @@ func Analyze(cfg Config, ras *raslog.Store, jobs *joblog.Log) (*Analysis, error)
 		a.span.end = jLast
 	}
 
-	// Stage 1: temporal-spatial-causality filtering.
-	a.Events, a.FilterStats = filter.Pipeline(cfg.Filter, ras.Fatal())
+	// Stage 1: temporal-spatial-causality filtering. The pipeline interns
+	// codes and locations over the time-sorted stream before sharding, so
+	// ID numbering is independent of Parallelism.
+	a.Events, a.FilterStats = filter.Pipeline(cfg.Filter, a.tab, ras.Fatal())
 
-	// Stage 2: match events against job terminations.
+	// Stage 2: match events against job terminations. Jobs and
+	// executables are interned in byEnd order (a JobID is its job's index
+	// into Jobs.All()).
 	a.occupancy = newOccupancyIndex(jobs)
+	for _, j := range jobs.All() {
+		a.tab.Jobs.Intern(j.ID)
+		a.tab.Execs.Intern(j.ExecFile)
+	}
 	a.match()
 
 	// Stage 3: three-case identification.
@@ -142,6 +161,7 @@ func Analyze(cfg Config, ras *raslog.Store, jobs *joblog.Log) (*Analysis, error)
 	// Stage 5: job-related filtering.
 	a.jobFilter()
 
+	a.Syms = a.tab.Freeze()
 	return a, nil
 }
 

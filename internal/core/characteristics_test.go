@@ -356,7 +356,7 @@ func TestRelocationExamples(t *testing.T) {
 	}
 	interrupted := a.InterruptedJobIDs()
 	for _, ex := range exs {
-		if a.Classification[ex.Code].Class != ClassApplication {
+		if classOf(a, ex.Code).Class != ClassApplication {
 			t.Errorf("example code %s is not application-classified", ex.Code)
 		}
 		if ex.First.Job.ExecFile != ex.Exec || ex.Second.Job.ExecFile != ex.Exec {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/joblog"
 	"repro/internal/stats"
+	"repro/internal/symtab"
 )
 
 // Class is the inferred origin of a fatal event type (§IV-B).
@@ -69,8 +70,10 @@ type Classification struct {
 	Rule ClassifyRule
 	// Correlation is the Pearson coefficient used (RuleCorrelation only).
 	Correlation float64
-	// CorrelatedWith is the labeled code matched (RuleCorrelation only).
-	CorrelatedWith string
+	// CorrelatedWith is the labeled code matched (RuleCorrelation only;
+	// symtab.NoErrcode when no labeled code correlated). Resolve the name
+	// via Analysis.Syms.
+	CorrelatedWith symtab.ErrcodeID
 }
 
 // classify applies the §IV-B rules to every effectively-fatal ERRCODE.
@@ -78,10 +81,10 @@ type Classification struct {
 // evidence) so downstream tables can report them, but they carry no
 // interruptions.
 func (a *Analysis) classify() {
-	a.Classification = make(map[string]Classification)
+	a.Classification = make(map[symtab.ErrcodeID]Classification)
 
 	// Gather per-code interruption lists.
-	byCode := make(map[string][]Interruption)
+	byCode := make(map[symtab.ErrcodeID][]Interruption)
 	for _, in := range a.Interruptions {
 		byCode[in.Event.Code] = append(byCode[in.Event.Code], in)
 	}
@@ -89,7 +92,8 @@ func (a *Analysis) classify() {
 	// Rule 1: never co-located with a running job -> system.
 	for code, id := range a.Identification {
 		if id.Case1 == 0 && id.Case3 == 0 {
-			a.Classification[code] = Classification{Class: ClassSystem, Rule: RuleIdleOnly}
+			a.Classification[code] = Classification{
+				Class: ClassSystem, Rule: RuleIdleOnly, CorrelatedWith: symtab.NoErrcode}
 		}
 	}
 
@@ -105,7 +109,7 @@ func (a *Analysis) classify() {
 			continue
 		}
 		type hit struct {
-			exec string
+			exec symtab.ExecID
 			in   Interruption
 		}
 		hitsAt := make(map[int][]hit)
@@ -121,7 +125,7 @@ func (a *Analysis) classify() {
 				if !in.Event.OnMidplane(mp) {
 					continue
 				}
-				hitsAt[mp] = append(hitsAt[mp], hit{exec: in.Job.ExecFile, in: in})
+				hitsAt[mp] = append(hitsAt[mp], hit{exec: in.Exec, in: in})
 			}
 		}
 		system := false
@@ -146,7 +150,8 @@ func (a *Analysis) classify() {
 			}
 		}
 		if system {
-			a.Classification[code] = Classification{Class: ClassSystem, Rule: RuleRepeatLocation}
+			a.Classification[code] = Classification{
+				Class: ClassSystem, Rule: RuleRepeatLocation, CorrelatedWith: symtab.NoErrcode}
 		}
 	}
 
@@ -160,9 +165,9 @@ func (a *Analysis) classify() {
 		if _, done := a.Classification[code]; done {
 			continue
 		}
-		byExec := make(map[string][]Interruption)
+		byExec := make(map[symtab.ExecID][]Interruption)
 		for _, in := range ins {
-			byExec[in.Job.ExecFile] = append(byExec[in.Job.ExecFile], in)
+			byExec[in.Exec] = append(byExec[in.Exec], in)
 		}
 		// An unlucky fault-prone job can be killed twice at different
 		// locations by one popular system code and mimic the pattern, so
@@ -183,7 +188,7 @@ func (a *Analysis) classify() {
 				}
 				// A resubmission chain: no clean run of this executable
 				// between the two interrupted attempts.
-				if execRanCleanBetween(execRuns[exec], prev.Job.EndTime, cur.Job.StartTime, interrupted) {
+				if execRanCleanBetween(execRuns[a.tab.Execs.Name(exec)], prev.Job.EndTime, cur.Job.StartTime, interrupted) {
 					continue
 				}
 				// Did the old location host a clean job after the move?
@@ -197,7 +202,8 @@ func (a *Analysis) classify() {
 			}
 		}
 		if witnesses >= 2 {
-			a.Classification[code] = Classification{Class: ClassApplication, Rule: RuleRelocation}
+			a.Classification[code] = Classification{
+				Class: ClassApplication, Rule: RuleRelocation, CorrelatedWith: symtab.NoErrcode}
 		}
 	}
 
@@ -222,28 +228,37 @@ func execRanCleanBetween(runs []joblog.Job, from, to time.Time, interrupted map[
 	return false
 }
 
-// dailyCounts returns the per-day event counts of a code over the
-// campaign span.
-func (a *Analysis) dailyCounts(code string) []float64 {
+// dailyCountsAll returns per-day event counts for every interned code,
+// indexed by ErrcodeID, in one pass over the event stream (the old
+// per-code variant re-scanned all events once per code).
+func (a *Analysis) dailyCountsAll() [][]float64 {
 	days := a.span.Days()
 	if days <= 0 {
 		days = 1
 	}
-	out := make([]float64, days)
+	out := make([][]float64, a.tab.Errcodes.Len())
 	for _, ev := range a.Events {
-		if ev.Code != code {
+		d := int(ev.First.Sub(a.span.start).Hours() / 24)
+		if d < 0 || d >= days {
 			continue
 		}
-		d := int(ev.First.Sub(a.span.start).Hours() / 24)
-		if d >= 0 && d < days {
-			out[d]++
+		if out[ev.Code] == nil {
+			out[ev.Code] = make([]float64, days)
+		}
+		out[ev.Code][d]++
+	}
+	// Codes with no in-span events still need a zero vector to correlate
+	// against.
+	for id := range out {
+		if out[id] == nil {
+			out[id] = make([]float64, days)
 		}
 	}
 	return out
 }
 
 func (a *Analysis) classifyByCorrelation() {
-	var labeled, unlabeled []string
+	var labeled, unlabeled []symtab.ErrcodeID
 	for code := range a.Identification {
 		if _, ok := a.Classification[code]; ok {
 			labeled = append(labeled, code)
@@ -251,18 +266,22 @@ func (a *Analysis) classifyByCorrelation() {
 			unlabeled = append(unlabeled, code)
 		}
 	}
-	sort.Strings(labeled)
-	sort.Strings(unlabeled)
-	vectors := make(map[string][]float64, len(labeled)+len(unlabeled))
-	for _, code := range append(append([]string(nil), labeled...), unlabeled...) {
-		vectors[code] = a.dailyCounts(code)
+	// Order by resolved name, exactly as the string-keyed implementation
+	// did, so candidate tie-breaks (and hence the report) are unchanged.
+	byName := func(ids []symtab.ErrcodeID) func(i, j int) bool {
+		return func(i, j int) bool {
+			return a.tab.Errcodes.Name(ids[i]) < a.tab.Errcodes.Name(ids[j])
+		}
 	}
+	sort.Slice(labeled, byName(labeled))
+	sort.Slice(unlabeled, byName(unlabeled))
+	vectors := a.dailyCountsAll()
 	// minCorrelation guards against assigning a class from pure noise:
 	// sparse daily-count vectors correlate weakly with everything.
 	const minCorrelation = 0.15
 	for _, code := range unlabeled {
 		type cand struct {
-			lab string
+			lab symtab.ErrcodeID
 			r   float64
 		}
 		var cands []cand
@@ -277,12 +296,12 @@ func (a *Analysis) classifyByCorrelation() {
 			if cands[i].r != cands[j].r {
 				return cands[i].r > cands[j].r
 			}
-			return cands[i].lab < cands[j].lab
+			return a.tab.Errcodes.Name(cands[i].lab) < a.tab.Errcodes.Name(cands[j].lab)
 		})
 		// Majority vote among the three most correlated labeled codes;
 		// ties and empty candidate sets fall back to system, the
 		// dominant class (72 of 80 types on Intrepid).
-		best := Classification{Class: ClassSystem, Rule: RuleCorrelation}
+		best := Classification{Class: ClassSystem, Rule: RuleCorrelation, CorrelatedWith: symtab.NoErrcode}
 		if len(cands) > 0 {
 			top := cands
 			if len(top) > 3 {

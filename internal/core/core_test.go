@@ -43,6 +43,24 @@ func analyze(t *testing.T, recs []raslog.Record, jobs []joblog.Job) *Analysis {
 	return a
 }
 
+// ident and classOf resolve a code name through the frozen symbol
+// table; tests address codes by string, the analysis maps by ID.
+func ident(a *Analysis, code string) Identification {
+	id, ok := a.Syms.Errcodes.Lookup(code)
+	if !ok {
+		return Identification{}
+	}
+	return a.Identification[id]
+}
+
+func classOf(a *Analysis, code string) Classification {
+	id, ok := a.Syms.Errcodes.Lookup(code)
+	if !ok {
+		return Classification{}
+	}
+	return a.Classification[id]
+}
+
 func TestMatchAttributesInterruption(t *testing.T) {
 	jobs := []joblog.Job{
 		mkJob(1, "/a", 0, 2*time.Hour, 0, 1),           // interrupted at 2h by event
@@ -92,16 +110,16 @@ func TestIdentifyThreeCases(t *testing.T) {
 		mkFatal(4, "idleonly", 30*time.Hour, 20),
 	}
 	a := analyze(t, recs, jobs)
-	if v := a.Identification["kills"].Verdict; v != VerdictInterruptionRelated {
+	if v := ident(a, "kills").Verdict; v != VerdictInterruptionRelated {
 		t.Errorf("kills verdict = %v", v)
 	}
-	if id := a.Identification["kills"]; id.Case1 != 1 || id.Case2 != 1 || id.Case3 != 0 {
+	if id := ident(a, "kills"); id.Case1 != 1 || id.Case2 != 1 || id.Case3 != 0 {
 		t.Errorf("kills cases = %+v", id)
 	}
-	if v := a.Identification["benign"].Verdict; v != VerdictNonFatal {
+	if v := ident(a, "benign").Verdict; v != VerdictNonFatal {
 		t.Errorf("benign verdict = %v", v)
 	}
-	if v := a.Identification["idleonly"].Verdict; v != VerdictUndetermined {
+	if v := ident(a, "idleonly").Verdict; v != VerdictUndetermined {
 		t.Errorf("idleonly verdict = %v", v)
 	}
 	c := a.Census()
@@ -127,7 +145,7 @@ func TestClassifyRepeatLocationIsSystem(t *testing.T) {
 		mkFatal(2, "sticky", 2*time.Hour, 0),
 	}
 	a := analyze(t, recs, jobs)
-	cl := a.Classification["sticky"]
+	cl := classOf(a, "sticky")
 	if cl.Class != ClassSystem || cl.Rule != RuleRepeatLocation {
 		t.Errorf("sticky classification = %+v", cl)
 	}
@@ -156,7 +174,7 @@ func relocationScenario() ([]raslog.Record, []joblog.Job) {
 func TestClassifyRelocationIsApplication(t *testing.T) {
 	recs, jobs := relocationScenario()
 	a := analyze(t, recs, jobs)
-	cl := a.Classification["bug"]
+	cl := classOf(a, "bug")
 	if cl.Class != ClassApplication || cl.Rule != RuleRelocation {
 		t.Errorf("bug classification = %+v", cl)
 	}
@@ -176,7 +194,7 @@ func TestClassifyRelocationNeedsTwoWitnesses(t *testing.T) {
 		mkFatal(2, "bug", 3*time.Hour, 4),
 	}
 	a := analyze(t, recs, jobs)
-	if cl := a.Classification["bug"]; cl.Rule == RuleRelocation {
+	if cl := classOf(a, "bug"); cl.Rule == RuleRelocation {
 		t.Errorf("single witness triggered relocation: %+v", cl)
 	}
 }
@@ -185,7 +203,7 @@ func TestClassifyIdleOnlyIsSystem(t *testing.T) {
 	jobs := []joblog.Job{mkJob(1, "/a", 0, time.Hour, 0, 1)}
 	recs := []raslog.Record{mkFatal(1, "ghost", 10*time.Hour, 20)}
 	a := analyze(t, recs, jobs)
-	cl := a.Classification["ghost"]
+	cl := classOf(a, "ghost")
 	if cl.Class != ClassSystem || cl.Rule != RuleIdleOnly {
 		t.Errorf("ghost classification = %+v", cl)
 	}
@@ -220,14 +238,15 @@ func TestClassifyByCorrelation(t *testing.T) {
 		id++
 	}
 	a := analyze(t, recs, jobs)
-	if cl := a.Classification["bug"]; cl.Class != ClassApplication {
+	if cl := classOf(a, "bug"); cl.Class != ClassApplication {
 		t.Fatalf("bug class = %+v", cl)
 	}
-	cl := a.Classification["twin"]
+	cl := classOf(a, "twin")
 	if cl.Rule != RuleCorrelation {
 		t.Fatalf("twin rule = %v", cl.Rule)
 	}
-	if cl.Class != ClassApplication || cl.CorrelatedWith != "bug" {
+	bugID, _ := a.Syms.Errcodes.Lookup("bug")
+	if cl.Class != ClassApplication || cl.CorrelatedWith != bugID {
 		t.Errorf("twin classification = %+v", cl)
 	}
 }
@@ -272,7 +291,7 @@ func TestJobFilterRemovesResubmittedBuggyCode(t *testing.T) {
 	// redundant.
 	recs, jobs := relocationScenario()
 	a := analyze(t, recs, jobs)
-	if a.Classification["bug"].Class != ClassApplication {
+	if classOf(a, "bug").Class != ClassApplication {
 		t.Fatal("precondition: bug must classify application")
 	}
 	if len(a.JobRedundant) != 2 {
@@ -355,12 +374,13 @@ func TestCampaignMatchingAgainstOracle(t *testing.T) {
 func TestCampaignIdentificationAgainstOracle(t *testing.T) {
 	c, a := campaign(t)
 	for code, id := range a.Identification {
-		gt, ok := c.Catalog.Lookup(code)
+		name := a.Syms.Errcodes.Name(code)
+		gt, ok := c.Catalog.Lookup(name)
 		if !ok {
-			t.Fatalf("analysis produced unknown code %q", code)
+			t.Fatalf("analysis produced unknown code %q", name)
 		}
 		if !gt.Interrupting && id.Verdict == VerdictInterruptionRelated {
-			t.Errorf("non-interrupting code %q identified as interruption-related (%+v)", code, id)
+			t.Errorf("non-interrupting code %q identified as interruption-related (%+v)", name, id)
 		}
 	}
 	// At least one of the two alarm types must be seen and not judged
@@ -379,7 +399,7 @@ func TestCampaignClassificationAgainstOracle(t *testing.T) {
 	good, bad := 0, 0
 	badEvents := 0
 	for code, cl := range a.Classification {
-		gt, ok := c.Catalog.Lookup(code)
+		gt, ok := c.Catalog.Lookup(a.Syms.Errcodes.Name(code))
 		if !ok {
 			continue
 		}

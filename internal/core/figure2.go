@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/joblog"
+	"repro/internal/symtab"
 )
 
 // RelocationExample is one concrete instance of the Figure 2 pattern:
@@ -32,7 +33,7 @@ func (a *Analysis) RelocationExamples(max int) []RelocationExample {
 	interrupted := a.InterruptedJobIDs()
 	execRuns := a.Jobs.ByExecFile()
 
-	byCodeExec := make(map[string]map[string][]Interruption)
+	byCodeExec := make(map[symtab.ErrcodeID]map[symtab.ExecID][]Interruption)
 	for _, in := range a.Interruptions {
 		code := in.Event.Code
 		if a.Classification[code].Class != ClassApplication {
@@ -40,10 +41,10 @@ func (a *Analysis) RelocationExamples(max int) []RelocationExample {
 		}
 		m := byCodeExec[code]
 		if m == nil {
-			m = make(map[string][]Interruption)
+			m = make(map[symtab.ExecID][]Interruption)
 			byCodeExec[code] = m
 		}
-		m[in.Job.ExecFile] = append(m[in.Job.ExecFile], in)
+		m[in.Exec] = append(m[in.Exec], in)
 	}
 
 	var out []RelocationExample
@@ -55,12 +56,13 @@ func (a *Analysis) RelocationExamples(max int) []RelocationExample {
 			sort.Slice(list, func(i, j int) bool {
 				return list[i].Job.EndTime.Before(list[j].Job.EndTime)
 			})
+			execName := a.tab.Execs.Name(exec)
 			for i := 1; i < len(list); i++ {
 				prev, cur := list[i-1], list[i]
 				if prev.Job.Partition == cur.Job.Partition {
 					continue
 				}
-				if execRanCleanBetween(execRuns[exec], prev.Job.EndTime, cur.Job.StartTime, interrupted) {
+				if execRanCleanBetween(execRuns[execName], prev.Job.EndTime, cur.Job.StartTime, interrupted) {
 					continue
 				}
 				clean, ok := a.cleanJobAfter(prev.Job, cur.Job, interrupted)
@@ -68,7 +70,7 @@ func (a *Analysis) RelocationExamples(max int) []RelocationExample {
 					continue
 				}
 				out = append(out, RelocationExample{
-					Code: code, Exec: exec,
+					Code: a.tab.Errcodes.Name(code), Exec: execName,
 					First: prev, Second: cur, CleanJob: clean,
 				})
 				break // one example per (code, exec)

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/filter"
+import (
+	"repro/internal/filter"
+	"repro/internal/symtab"
+)
 
 // Verdict is the outcome of the three-case identification rule (§IV-A)
 // for one ERRCODE.
@@ -52,7 +55,7 @@ func (id Identification) EffectivelyFatal() bool { return id.Verdict != VerdictN
 
 // identify applies the three-case rule to every ERRCODE.
 func (a *Analysis) identify() {
-	a.Identification = make(map[string]Identification)
+	a.Identification = make(map[symtab.ErrcodeID]Identification)
 	for _, ev := range a.Events {
 		id := a.Identification[ev.Code]
 		id.Events++

@@ -114,15 +114,16 @@ func (a *Analysis) chainVictimCounts() map[*filter.Event]int {
 	}
 	counts := make(map[*filter.Event]int)
 	// Walk events in time order; a redundant event joins the chain of
-	// the most recent same-code head.
-	headByCode := make(map[string]*filter.Event)
+	// the most recent same-code head. IDs are dense, so the per-code head
+	// table is a plain slice.
+	headByCode := make([]*filter.Event, a.tab.Errcodes.Len())
 	for _, ev := range a.Events {
 		n := len(a.interByEvent[ev])
 		if n == 0 {
 			continue
 		}
 		if redundant[ev] {
-			if head, ok := headByCode[ev.Code]; ok {
+			if head := headByCode[ev.Code]; head != nil {
 				counts[head] += n
 				continue
 			}

@@ -4,6 +4,8 @@ import (
 	"sort"
 
 	"repro/internal/filter"
+	"repro/internal/store"
+	"repro/internal/symtab"
 )
 
 // jobFilter removes job-related redundancy (§IV-C): fatal events
@@ -20,7 +22,7 @@ func (a *Analysis) jobFilter() {
 	interrupted := a.InterruptedJobIDs()
 
 	// Events with interruptions per code, in time order.
-	byCode := make(map[string][]*filter.Event)
+	byCode := make(map[symtab.ErrcodeID][]*filter.Event)
 	for _, ev := range a.Events {
 		if len(a.interByEvent[ev]) > 0 {
 			byCode[ev.Code] = append(byCode[ev.Code], ev)
@@ -35,17 +37,19 @@ func (a *Analysis) jobFilter() {
 	for code, evs := range byCode {
 		if a.Classification[code].Class == ClassApplication {
 			// Application errors: redundant once the executable has been
-			// interrupted by this code before, at any location.
-			seenExec := make(map[string]bool)
+			// interrupted by this code before, at any location. Check all
+			// of an event's victims against the set before marking any, so
+			// one event's own victims never make it redundant.
+			seenExec := store.NewSet[symtab.ExecID](a.tab.Execs.Len())
 			for _, ev := range evs {
 				dup := false
 				for _, in := range a.EventInterruptions(ev) {
-					if seenExec[in.Job.ExecFile] {
+					if seenExec.Has(in.Exec) {
 						dup = true
 					}
 				}
 				for _, in := range a.EventInterruptions(ev) {
-					seenExec[in.Job.ExecFile] = true
+					seenExec.Add(in.Exec)
 				}
 				if dup {
 					redundant[ev] = true

@@ -7,6 +7,8 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/filter"
 	"repro/internal/joblog"
+	"repro/internal/store"
+	"repro/internal/symtab"
 )
 
 // occupancyIndex answers "which job ran on midplane m at time t" and
@@ -124,7 +126,10 @@ func (a *Analysis) match() {
 			}
 			seen[best.ID] = true
 			claimed[best.ID] = true
-			a.Interruptions = append(a.Interruptions, Interruption{Job: best, Event: ev})
+			execID, _ := a.tab.Execs.Lookup(best.ExecFile)
+			jobID, _ := a.tab.Jobs.Lookup(best.ID)
+			a.Interruptions = append(a.Interruptions,
+				Interruption{Job: best, Event: ev, Exec: execID, JobID: jobID})
 			a.interByEvent[ev] = append(a.interByEvent[ev], len(a.Interruptions)-1)
 		}
 	}
@@ -142,9 +147,9 @@ func (a *Analysis) InterruptedJobIDs() map[int64]bool {
 // DistinctInterruptedJobs returns the number of distinct executables
 // among interrupted jobs.
 func (a *Analysis) DistinctInterruptedJobs() int {
-	set := make(map[string]bool)
+	set := store.NewSet[symtab.ExecID](a.tab.Execs.Len())
 	for _, in := range a.Interruptions {
-		set[in.Job.ExecFile] = true
+		set.Add(in.Exec)
 	}
-	return len(set)
+	return set.Len()
 }

@@ -1,6 +1,11 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/store"
+	"repro/internal/symtab"
+)
 
 // PropagationStats carries the §VI-C failure-propagation analysis
 // (Obs. 8): spatial propagation (one fatal event interrupting several
@@ -29,7 +34,7 @@ type PropagationStats struct {
 // Propagation computes Observation 8's statistics.
 func (a *Analysis) Propagation() PropagationStats {
 	var ps PropagationStats
-	codes := make(map[string]bool)
+	codes := store.NewSet[symtab.ErrcodeID](a.tab.Errcodes.Len())
 	for _, ev := range a.Events {
 		n := len(a.interByEvent[ev])
 		if n == 0 {
@@ -38,14 +43,13 @@ func (a *Analysis) Propagation() PropagationStats {
 		ps.InterruptingEvents++
 		if n > 1 {
 			ps.SpatialEvents++
-			codes[ev.Code] = true
+			if codes.Add(ev.Code) {
+				ps.SpatialCodes = append(ps.SpatialCodes, a.tab.Errcodes.Name(ev.Code))
+			}
 		}
 	}
 	if ps.InterruptingEvents > 0 {
 		ps.SpatialFraction = float64(ps.SpatialEvents) / float64(ps.InterruptingEvents)
-	}
-	for c := range codes {
-		ps.SpatialCodes = append(ps.SpatialCodes, c)
 	}
 	sort.Strings(ps.SpatialCodes)
 	ps.TemporalEvents = len(a.JobRedundant)

@@ -1,0 +1,204 @@
+package filter
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/raslog"
+	"repro/internal/symtab"
+)
+
+// benchFatalStream builds a grouping-heavy, time-sorted FATAL corpus:
+// realistic long ERRCODE and location strings spread over many
+// (location, code) streams, with tight bursts so every cascade stage
+// has real clustering work to do. Grouping cost dominates, which is
+// exactly what the symtab refactor targets.
+func benchFatalStream(n int) []raslog.Record {
+	codes := make([]string, 48)
+	for i := range codes {
+		codes[i] = "_bgp_err_" + []string{"ddr", "cns", "l1p", "l2", "torus", "tree"}[i%6] +
+			"_unit" + string(rune('a'+i%26)) + "_machinecheck_extended_diagnostic"
+	}
+	rng := rand.New(rand.NewSource(17))
+	recs := make([]raslog.Record, 0, n)
+	at := time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		if rng.Intn(8) == 0 {
+			at = at.Add(time.Duration(rng.Intn(3600*6)) * time.Second)
+		} else {
+			at = at.Add(time.Duration(rng.Intn(45)) * time.Second)
+		}
+		recs = append(recs, raslog.Record{
+			RecID: int64(i + 1), MsgID: "KERN_0802", Component: raslog.CompKernel,
+			ErrCode: codes[rng.Intn(len(codes))], Severity: raslog.SevFatal,
+			EventTime: at,
+			Location:  bgp.MidplaneLocation(rng.Intn(64)).String(),
+		})
+	}
+	return recs
+}
+
+// BenchmarkFilterCascade measures the full temporal-spatial-causality
+// cascade on the interned-ID path: symbols are interned once and every
+// grouping stage keys on dense integer IDs (a packed uint64 for the
+// temporal pass).
+func BenchmarkFilterCascade(b *testing.B) {
+	recs := benchFatalStream(10000)
+	cfg := DefaultConfig()
+	cfg.Parallelism = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evs, _ := Pipeline(cfg, symtab.NewTable(), recs)
+		if len(evs) == 0 {
+			b.Fatal("cascade produced no events")
+		}
+	}
+}
+
+// BenchmarkFilterCascadeLegacy is the string-keyed reference cascade —
+// the implementation this package had before the symtab refactor,
+// preserved here verbatim in structure (struct keys of raw strings,
+// string-keyed maps in every stage) — over the identical corpus. The
+// bench gate holds the ID path's win over this reference.
+func BenchmarkFilterCascadeLegacy(b *testing.B) {
+	recs := benchFatalStream(10000)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evs := legacyCascade(cfg, recs)
+		if len(evs) == 0 {
+			b.Fatal("cascade produced no events")
+		}
+	}
+}
+
+// legacyEvent mirrors Event with the pre-refactor string Code.
+type legacyEvent struct {
+	Code        string
+	Component   raslog.Component
+	First, Last time.Time
+	Midplanes   []int
+	Size        int
+}
+
+type legacyLocKey struct{ loc, code string }
+
+type legacyPair struct{ a, b string }
+
+func legacyCascade(cfg Config, recs []raslog.Record) []*legacyEvent {
+	t := legacyTemporal(cfg.TemporalWindow, recs)
+	s := legacySpatial(cfg.SpatialWindow, t)
+	rules := legacyMine(cfg, s)
+	return legacyCausality(cfg.CausalityWindow, rules, s)
+}
+
+func legacyTemporal(window time.Duration, recs []raslog.Record) []*legacyEvent {
+	open := make(map[legacyLocKey]*legacyEvent)
+	lastSeen := make(map[legacyLocKey]time.Time)
+	var out []*legacyEvent
+	for i := range recs {
+		r := &recs[i]
+		k := legacyLocKey{loc: r.Location, code: r.ErrCode}
+		ev, ok := open[k]
+		if ok && r.EventTime.Sub(lastSeen[k]) <= window {
+			ev.Last = r.EventTime
+			ev.Size++
+			lastSeen[k] = r.EventTime
+			continue
+		}
+		ev = &legacyEvent{
+			Code: r.ErrCode, Component: r.Component,
+			First: r.EventTime, Last: r.EventTime,
+			Midplanes: raslog.LocationMidplanes(r.Location), Size: 1,
+		}
+		open[k] = ev
+		lastSeen[k] = r.EventTime
+		out = append(out, ev)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	return out
+}
+
+func legacySpatial(window time.Duration, events []*legacyEvent) []*legacyEvent {
+	open := make(map[string]*legacyEvent)
+	var out []*legacyEvent
+	for _, ev := range events {
+		cur, ok := open[ev.Code]
+		if ok && ev.First.Sub(cur.Last) <= window {
+			if ev.Last.After(cur.Last) {
+				cur.Last = ev.Last
+			}
+			cur.Size += ev.Size
+			cur.Midplanes = mergeInts(cur.Midplanes, ev.Midplanes)
+			continue
+		}
+		merged := &legacyEvent{
+			Code: ev.Code, Component: ev.Component,
+			First: ev.First, Last: ev.Last,
+			Midplanes: append([]int(nil), ev.Midplanes...), Size: ev.Size,
+		}
+		open[ev.Code] = merged
+		out = append(out, merged)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	return out
+}
+
+func legacyMine(cfg Config, events []*legacyEvent) map[legacyPair]bool {
+	co := make(map[legacyPair]int)
+	total := make(map[string]int)
+	for i, ev := range events {
+		total[ev.Code]++
+		seen := make(map[string]bool)
+		for j := i - 1; j >= 0; j-- {
+			lead := events[j]
+			if ev.First.Sub(lead.First) > cfg.CausalityWindow {
+				break
+			}
+			if lead.Code == ev.Code || seen[lead.Code] {
+				continue
+			}
+			seen[lead.Code] = true
+			co[legacyPair{lead.Code, ev.Code}]++
+		}
+	}
+	rules := make(map[legacyPair]bool)
+	for p, n := range co {
+		if n < cfg.CausalityMinSupport {
+			continue
+		}
+		if float64(n)/float64(total[p.b]) < cfg.CausalityMinConfidence {
+			continue
+		}
+		rules[p] = true
+	}
+	return rules
+}
+
+func legacyCausality(window time.Duration, rules map[legacyPair]bool, events []*legacyEvent) []*legacyEvent {
+	leadersOf := make(map[string][]string)
+	for p := range rules {
+		leadersOf[p.b] = append(leadersOf[p.b], p.a)
+	}
+	lastAt := make(map[string]time.Time)
+	var out []*legacyEvent
+	for _, ev := range events {
+		drop := false
+		for _, lead := range leadersOf[ev.Code] {
+			if t, ok := lastAt[lead]; ok && ev.First.Sub(t) <= window && ev.First.After(t) {
+				drop = true
+				break
+			}
+		}
+		lastAt[ev.Code] = ev.First
+		if !drop {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

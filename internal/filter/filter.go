@@ -6,6 +6,12 @@
 // co-occur so reliably that the followers are symptoms of the leader).
 // Job-related filtering — the paper's contribution — needs the job log
 // and therefore lives in internal/core.
+//
+// The cascade works over interned symbols (internal/symtab): records
+// are columnarized once, sequentially, into a struct-of-arrays store
+// (internal/store), and every grouping stage keys on dense integer IDs
+// — the temporal pass on a (LocationID, ErrcodeID) pair packed into a
+// single uint64 — instead of hashing strings per record.
 package filter
 
 import (
@@ -15,20 +21,24 @@ import (
 	"time"
 
 	"repro/internal/raslog"
+	"repro/internal/store"
+	"repro/internal/symtab"
 )
 
 // Event is one filtered (independent) fatal event: a cluster of raw
 // records of one ERRCODE that temporal-spatial filtering collapsed.
 type Event struct {
-	// Code is the ERRCODE shared by the cluster.
-	Code string
+	// Code is the interned ERRCODE shared by the cluster; resolve it
+	// through the run's symtab table at the report boundary.
+	Code symtab.ErrcodeID
 	// Component is the reporting component of the representative record.
 	Component raslog.Component
 	// First and Last delimit the cluster in time; First is the event
 	// time used by all downstream analyses.
 	First, Last time.Time
 	// Midplanes are the global midplane indices touched by any record of
-	// the cluster, sorted.
+	// the cluster, sorted. Events sharing a location may share the
+	// backing array; callers must not mutate.
 	Midplanes []int
 	// Size is the number of raw records collapsed into this event.
 	Size int
@@ -47,10 +57,12 @@ func (e *Event) OnMidplane(mp int) bool {
 type Config struct {
 	// Parallelism bounds the worker count of the concurrent stage
 	// runners (0 = GOMAXPROCS, 1 = sequential). Every worker count
-	// produces byte-identical output: the temporal and spatial passes
-	// shard by their cluster key (location+code, code) and merge in
-	// first-record order, and causality mining merges commutative
-	// counts, so the cascade's result never depends on scheduling.
+	// produces byte-identical output: symbols are interned sequentially
+	// before any sharding (so ID numbering never depends on the worker
+	// count), the temporal and spatial passes shard by their cluster key
+	// ((LocationID, ErrcodeID), ErrcodeID) and merge in first-record
+	// order, and causality mining merges commutative counts, so the
+	// cascade's result never depends on scheduling.
 	Parallelism int
 	// TemporalWindow collapses records with the same (location, code)
 	// whose gap is at most this (Liang et al. use 5 minutes).
@@ -100,18 +112,23 @@ func (s Stats) CompressionRatio() float64 {
 }
 
 // Pipeline runs the full cascade over the FATAL records of a store and
-// returns the independent events in time order. The temporal, spatial
-// and causality-mining passes run on cfg.Parallelism workers; the
-// output is byte-identical to the sequential cascade for any worker
+// returns the independent events in time order, with their symbols
+// interned into tab. The temporal, spatial and causality-mining passes
+// run on cfg.Parallelism workers; the output — including the IDs tab
+// assigns — is byte-identical to the sequential cascade for any worker
 // count (see Config.Parallelism).
-func Pipeline(cfg Config, fatal []raslog.Record) ([]*Event, Stats) {
+func Pipeline(cfg Config, tab *symtab.Table, fatal []raslog.Record) ([]*Event, Stats) {
 	var st Stats
 	st.Input = len(fatal)
-	t := temporalSharded(cfg.Parallelism, cfg.TemporalWindow, fatal)
+	// Interning happens here, sequentially, over the time-sorted input —
+	// before any sharding — so ID numbering is parallelism-independent.
+	cols := raslog.Columnarize(tab, fatal)
+	perLoc := locMidplanes(tab, cols)
+	t := temporalSharded(cfg.Parallelism, cfg.TemporalWindow, cols, fatal, perLoc)
 	st.AfterTemporal = len(t)
-	s := spatialSharded(cfg.Parallelism, cfg.SpatialWindow, t)
+	s := spatialSharded(cfg.Parallelism, cfg.SpatialWindow, t, tab.Errcodes.Len())
 	st.AfterSpatial = len(s)
-	rules := mineCausalitySharded(cfg.Parallelism, cfg, s)
+	rules := mineCausalitySharded(cfg.Parallelism, cfg, s, tab.Errcodes.Len())
 	c := Causality(cfg.CausalityWindow, rules, s)
 	st.AfterCausality = len(c)
 	return c, st
@@ -123,9 +140,10 @@ func Pipeline(cfg Config, fatal []raslog.Record) ([]*Event, Stats) {
 // internal/parallel pool, cfg.Parallelism workers) discards non-FATAL
 // records inside the shards, and the survivors are sorted into the
 // (EventTime, RecID) order raslog.Store would have presented. The
-// events and stats are identical to Pipeline(cfg, store.Fatal()) over
-// the same log, for any worker count.
-func PipelineFromLog(cfg Config, r io.Reader) ([]*Event, Stats, error) {
+// events, stats and symtab IDs are identical to
+// Pipeline(cfg, tab, store.Fatal()) over the same log, for any worker
+// count.
+func PipelineFromLog(cfg Config, tab *symtab.Table, r io.Reader) ([]*Event, Stats, error) {
 	fatal, err := raslog.ReadMatchingParallel(r, cfg.Parallelism, (*raslog.Record).Fatal)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("filter: reading RAS log: %w", err)
@@ -136,21 +154,39 @@ func PipelineFromLog(cfg Config, r io.Reader) ([]*Event, Stats, error) {
 		}
 		return fatal[i].RecID < fatal[j].RecID
 	})
-	ev, st := Pipeline(cfg, fatal)
+	ev, st := Pipeline(cfg, tab, fatal)
 	return ev, st, nil
 }
 
-// locKey identifies a temporal-cluster stream.
-type locKey struct {
-	loc  string
-	code string
+// packKey packs a temporal-cluster stream key — (LocationID, ErrcodeID)
+// — into one uint64, the map key of the temporal pass.
+func packKey(loc symtab.LocationID, code symtab.ErrcodeID) uint64 {
+	return uint64(uint32(loc))<<32 | uint64(uint32(code))
+}
+
+// locMidplanes resolves each distinct LocationID seen in cols to its
+// global midplane indices, once per location instead of once per
+// record. The returned slices are shared by every event at that
+// location (read-only downstream).
+func locMidplanes(tab *symtab.Table, cols *store.Events) [][]int {
+	perLoc := make([][]int, tab.Locations.Len())
+	done := make([]bool, tab.Locations.Len())
+	for _, l := range cols.Loc {
+		if !done[l] {
+			done[l] = true
+			perLoc[l] = raslog.LocationMidplanes(tab.Locations.Name(l))
+		}
+	}
+	return perLoc
 }
 
 // Temporal collapses same-(location, code) records whose inter-record
-// gap is at most window. Records must be time-ordered. The result is
-// one Event per cluster, still location-specific.
-func Temporal(window time.Duration, recs []raslog.Record) []*Event {
-	out := untag(temporalCluster(window, recs, allIndices(len(recs))))
+// gap is at most window, interning symbols into tab. Records must be
+// time-ordered. The result is one Event per cluster, still
+// location-specific.
+func Temporal(tab *symtab.Table, window time.Duration, recs []raslog.Record) []*Event {
+	cols := raslog.Columnarize(tab, recs)
+	out := untag(temporalCluster(window, cols, recs, allIndices(len(recs)), locMidplanes(tab, cols)))
 	sortEvents(out)
 	return out
 }
@@ -158,9 +194,22 @@ func Temporal(window time.Duration, recs []raslog.Record) []*Event {
 // Spatial merges same-code events (from different locations) whose gap
 // is at most window. Input must be time-ordered (Temporal output is).
 func Spatial(window time.Duration, events []*Event) []*Event {
-	out := untag(spatialCluster(window, events, allIndices(len(events))))
+	out := untag(spatialCluster(window, events, allIndices(len(events)), maxCode(events)+1))
 	sortEvents(out)
 	return out
+}
+
+// maxCode returns the largest ErrcodeID among events (-1 when empty);
+// stages that run without the table in hand size their dense
+// per-code state from it.
+func maxCode(events []*Event) int {
+	m := -1
+	for _, ev := range events {
+		if int(ev.Code) > m {
+			m = int(ev.Code)
+		}
+	}
+	return m
 }
 
 func allIndices(n int) []int {
@@ -174,37 +223,36 @@ func allIndices(n int) []int {
 // Rule is a mined causality rule: occurrences of Follower within the
 // window after Leader are symptoms of the Leader.
 type Rule struct {
-	Leader, Follower string
+	Leader, Follower symtab.ErrcodeID
 	// Support is the number of observed co-occurrences.
 	Support int
 	// Confidence is the fraction of Follower events preceded by Leader.
 	Confidence float64
 }
 
-// codePair is a (leader, follower) ERRCODE pair.
-type codePair struct{ a, b string }
-
 // MineCausality scans the event stream for leader→follower pairs that
 // co-occur within the causality window with enough support and
 // confidence. Self-pairs are excluded (temporal filtering owns those).
 func MineCausality(cfg Config, events []*Event) []Rule {
-	pc := mineChunk(cfg, events, 0, len(events))
+	n := maxCode(events) + 1
+	pc := mineChunk(cfg, events, 0, len(events), n)
 	return rulesFromCounts(cfg, pc.co, pc.total)
 }
 
-// rulesFromCounts turns mined co-occurrence counts into the sorted rule
-// set.
-func rulesFromCounts(cfg Config, coCount map[codePair]int, total map[string]int) []Rule {
+// rulesFromCounts turns mined co-occurrence counts into the rule set,
+// sorted by (Leader, Follower) ID — first-seen symbol order.
+func rulesFromCounts(cfg Config, coCount map[uint64]int, total []int) []Rule {
 	var rules []Rule
 	for p, n := range coCount {
 		if n < cfg.CausalityMinSupport {
 			continue
 		}
-		conf := float64(n) / float64(total[p.b])
+		lead, follow := unpackPair(p)
+		conf := float64(n) / float64(total[follow])
 		if conf < cfg.CausalityMinConfidence {
 			continue
 		}
-		rules = append(rules, Rule{Leader: p.a, Follower: p.b, Support: n, Confidence: conf})
+		rules = append(rules, Rule{Leader: lead, Follower: follow, Support: n, Confidence: conf})
 	}
 	sort.Slice(rules, func(i, j int) bool {
 		if rules[i].Leader != rules[j].Leader {
@@ -218,26 +266,33 @@ func rulesFromCounts(cfg Config, coCount map[codePair]int, total map[string]int)
 // Causality drops follower events that occur within the window after
 // their leader, per the mined rules.
 func Causality(window time.Duration, rules []Rule, events []*Event) []*Event {
-	leadersOf := make(map[string]map[string]bool)
+	n := maxCode(events) + 1
 	for _, r := range rules {
-		m := leadersOf[r.Follower]
-		if m == nil {
-			m = make(map[string]bool)
-			leadersOf[r.Follower] = m
+		if int(r.Leader) >= n {
+			n = int(r.Leader) + 1
 		}
-		m[r.Leader] = true
+		if int(r.Follower) >= n {
+			n = int(r.Follower) + 1
+		}
 	}
-	lastAt := make(map[string]time.Time)
+	leadersOf := make([][]symtab.ErrcodeID, n)
+	for _, r := range rules {
+		leadersOf[r.Follower] = append(leadersOf[r.Follower], r.Leader)
+	}
+	lastAt := make([]int64, n)
+	seen := make([]bool, n)
 	var out []*Event
 	for _, ev := range events {
+		first := ev.First.UnixNano()
 		drop := false
-		for lead := range leadersOf[ev.Code] {
-			if t, ok := lastAt[lead]; ok && ev.First.Sub(t) <= window && ev.First.After(t) {
+		for _, lead := range leadersOf[ev.Code] {
+			if t := lastAt[lead]; seen[lead] && first > t && first-t <= int64(window) {
 				drop = true
 				break
 			}
 		}
-		lastAt[ev.Code] = ev.First
+		lastAt[ev.Code] = first
+		seen[ev.Code] = true
 		if !drop {
 			out = append(out, ev)
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/raslog"
+	"repro/internal/symtab"
 )
 
 var t0 = time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC)
@@ -16,6 +17,17 @@ func rec(code, loc string, offset time.Duration) raslog.Record {
 	}
 }
 
+// cid resolves a code name to the ID tab assigned it; the name must
+// have been interned by the stage under test.
+func cid(t *testing.T, tab *symtab.Table, name string) symtab.ErrcodeID {
+	t.Helper()
+	id, ok := tab.Errcodes.Lookup(name)
+	if !ok {
+		t.Fatalf("code %q was never interned", name)
+	}
+	return id
+}
+
 func TestTemporalCollapsesDuplicates(t *testing.T) {
 	recs := []raslog.Record{
 		rec("a", "R00-M0", 0),
@@ -25,7 +37,7 @@ func TestTemporalCollapsesDuplicates(t *testing.T) {
 		rec("a", "R00-M1", 30*time.Second), // different location: own cluster
 		rec("b", "R00-M0", 30*time.Second), // different code: own cluster
 	}
-	evs := Temporal(5*time.Minute, recs)
+	evs := Temporal(symtab.NewTable(), 5*time.Minute, recs)
 	if len(evs) != 4 {
 		t.Fatalf("Temporal: %d events, want 4", len(evs))
 	}
@@ -41,7 +53,7 @@ func TestTemporalSlidingWindow(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		recs = append(recs, rec("a", "R00-M0", time.Duration(i)*4*time.Minute))
 	}
-	evs := Temporal(5*time.Minute, recs)
+	evs := Temporal(symtab.NewTable(), 5*time.Minute, recs)
 	if len(evs) != 1 || evs[0].Size != 10 {
 		t.Fatalf("storm not collapsed: %d events", len(evs))
 	}
@@ -55,7 +67,8 @@ func TestSpatialMergesAcrossLocations(t *testing.T) {
 		rec("a", "R10-M0", time.Hour), // far later: separate event
 		rec("b", "R00-M0", time.Minute),
 	}
-	evs, st := Pipeline(DefaultConfig(), recs)
+	tab := symtab.NewTable()
+	evs, st := Pipeline(DefaultConfig(), tab, recs)
 	if st.Input != 5 || st.AfterTemporal != 5 || st.AfterSpatial != 3 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -63,7 +76,7 @@ func TestSpatialMergesAcrossLocations(t *testing.T) {
 		t.Fatalf("pipeline: %d events, want 3", len(evs))
 	}
 	first := evs[0]
-	if first.Code == "a" {
+	if first.Code == cid(t, tab, "a") {
 		if len(first.Midplanes) != 3 {
 			t.Errorf("merged midplanes = %v", first.Midplanes)
 		}
@@ -77,7 +90,7 @@ func TestSpatialMergesAcrossLocations(t *testing.T) {
 }
 
 func TestOnMidplane(t *testing.T) {
-	evs := Temporal(time.Minute, []raslog.Record{rec("a", "R01", 0)})
+	evs := Temporal(symtab.NewTable(), time.Minute, []raslog.Record{rec("a", "R01", 0)})
 	if len(evs) != 1 {
 		t.Fatal("want one event")
 	}
@@ -98,17 +111,19 @@ func TestMineCausalityFindsPlantedRule(t *testing.T) {
 		)
 	}
 	cfg := DefaultConfig()
-	evs := Spatial(cfg.SpatialWindow, Temporal(cfg.TemporalWindow, recs))
+	tab := symtab.NewTable()
+	evs := Spatial(cfg.SpatialWindow, Temporal(tab, cfg.TemporalWindow, recs))
 	rules := MineCausality(cfg, evs)
+	a, b, c := cid(t, tab, "a"), cid(t, tab, "b"), cid(t, tab, "c")
 	found := false
 	for _, r := range rules {
-		if r.Leader == "a" && r.Follower == "b" {
+		if r.Leader == a && r.Follower == b {
 			found = true
 			if r.Support < 6 || r.Confidence < 0.99 {
 				t.Errorf("rule stats = %+v", r)
 			}
 		}
-		if r.Follower == "c" {
+		if r.Follower == c {
 			t.Errorf("spurious rule onto c: %+v", r)
 		}
 	}
@@ -118,7 +133,7 @@ func TestMineCausalityFindsPlantedRule(t *testing.T) {
 	// Applying the rules drops every b.
 	kept := Causality(cfg.CausalityWindow, rules, evs)
 	for _, ev := range kept {
-		if ev.Code == "b" {
+		if ev.Code == b {
 			t.Errorf("b event at %v survived causality filtering", ev.First)
 		}
 	}
@@ -129,10 +144,12 @@ func TestMineCausalityFindsPlantedRule(t *testing.T) {
 
 func TestCausalityKeepsIndependentFollowers(t *testing.T) {
 	// A "b" far from any "a" survives even with an a->b rule.
-	rules := []Rule{{Leader: "a", Follower: "b", Support: 5, Confidence: 1}}
+	tab := symtab.NewTable()
+	a, b := tab.Errcodes.Intern("a"), tab.Errcodes.Intern("b")
+	rules := []Rule{{Leader: a, Follower: b, Support: 5, Confidence: 1}}
 	evs := []*Event{
-		{Code: "a", First: t0, Last: t0},
-		{Code: "b", First: t0.Add(time.Hour), Last: t0.Add(time.Hour)},
+		{Code: a, First: t0, Last: t0},
+		{Code: b, First: t0.Add(time.Hour), Last: t0.Add(time.Hour)},
 	}
 	kept := Causality(10*time.Minute, rules, evs)
 	if len(kept) != 2 {
@@ -155,7 +172,7 @@ func TestPipelineCompressionOnStorm(t *testing.T) {
 		recs = append(recs, rec("storm", loc, time.Duration(i)*360*time.Millisecond))
 	}
 	recs = append(recs, rec("other", "R05-M0", 48*time.Hour))
-	evs, st := Pipeline(DefaultConfig(), recs)
+	evs, st := Pipeline(DefaultConfig(), symtab.NewTable(), recs)
 	if len(evs) != 2 {
 		t.Fatalf("pipeline: %d events, want 2", len(evs))
 	}
@@ -165,7 +182,7 @@ func TestPipelineCompressionOnStorm(t *testing.T) {
 }
 
 func TestStatsZero(t *testing.T) {
-	evs, st := Pipeline(DefaultConfig(), nil)
+	evs, st := Pipeline(DefaultConfig(), symtab.NewTable(), nil)
 	if len(evs) != 0 || st.CompressionRatio() != 0 {
 		t.Errorf("empty pipeline: %d events, ratio %v", len(evs), st.CompressionRatio())
 	}

@@ -2,22 +2,25 @@ package filter
 
 import (
 	"context"
-	"hash/fnv"
 	"sort"
 	"time"
 
 	"repro/internal/parallel"
 	"repro/internal/raslog"
+	"repro/internal/store"
+	"repro/internal/symtab"
 )
 
 // The sharded stage runners exploit that temporal clustering only ever
-// merges records sharing a (location, code) key and spatial clustering
-// only events sharing a code: partitioning the input by that key gives
-// workers fully independent streams. Each emitted event is tagged with
-// the input index of its first constituent, and the shards' outputs are
-// merged in tag order — exactly the creation order of the sequential
-// pass — before the usual stable sort by event time. The result is
-// byte-identical to the sequential stage for any worker count.
+// merges records sharing a (LocationID, ErrcodeID) key and spatial
+// clustering only events sharing an ErrcodeID: partitioning the input
+// by that key gives workers fully independent streams. Symbols are
+// interned before sharding, so the shards work over the already-built
+// columnar store. Each emitted event is tagged with the input index of
+// its first constituent, and the shards' outputs are merged in tag
+// order — exactly the creation order of the sequential pass — before
+// the usual stable sort by event time. The result is byte-identical to
+// the sequential stage for any worker count.
 
 // tagged pairs an event with the input index of its first constituent.
 type tagged struct {
@@ -34,58 +37,69 @@ func untag(tg []tagged) []*Event {
 	return out
 }
 
-// shardOf assigns a cluster key to one of w shards, deterministically.
-func shardOf(key string, w int) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(w))
+// shardOfKey assigns a packed integer cluster key to one of w shards,
+// deterministically, via a splitmix64-style finalizer so adjacent IDs
+// spread evenly.
+func shardOfKey(k uint64, w int) int {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return int(k % uint64(w))
 }
 
 // temporalCluster runs the temporal clustering over the records named
 // by idxs (which must be increasing), tagging each cluster with its
-// first record index.
-func temporalCluster(window time.Duration, recs []raslog.Record, idxs []int) []tagged {
-	open := make(map[locKey]*Event)
-	lastSeen := make(map[locKey]time.Time)
+// first record index. The grouping key is the packed
+// (LocationID, ErrcodeID) pair from the columnar store; the record
+// slice supplies only the wall-clock First/Last timestamps.
+func temporalCluster(window time.Duration, cols *store.Events, recs []raslog.Record, idxs []int, perLoc [][]int) []tagged {
+	open := make(map[uint64]*Event)
+	lastSeen := make(map[uint64]int64)
 	out := make([]tagged, 0, len(idxs))
+	w := int64(window)
 	for _, i := range idxs {
-		r := &recs[i]
-		k := locKey{loc: r.Location, code: r.ErrCode}
+		k := packKey(cols.Loc[i], cols.Code[i])
+		t := cols.Time[i]
 		ev, ok := open[k]
-		if ok && r.EventTime.Sub(lastSeen[k]) <= window {
-			ev.Last = r.EventTime
+		if ok && t-lastSeen[k] <= w {
+			ev.Last = recs[i].EventTime
 			ev.Size++
-			lastSeen[k] = r.EventTime
+			lastSeen[k] = t
 			continue
 		}
 		ev = &Event{
-			Code:      r.ErrCode,
-			Component: r.Component,
-			First:     r.EventTime,
-			Last:      r.EventTime,
-			Midplanes: raslog.RecordMidplanes(*r),
+			Code:      cols.Code[i],
+			Component: raslog.Component(cols.Comp[i]),
+			First:     recs[i].EventTime,
+			Last:      recs[i].EventTime,
+			Midplanes: perLoc[cols.Loc[i]],
 			Size:      1,
 		}
 		open[k] = ev
-		lastSeen[k] = r.EventTime
+		lastSeen[k] = t
 		out = append(out, tagged{ev: ev, idx: i})
 	}
 	return out
 }
 
-// temporalSharded is Temporal on the given worker count.
-func temporalSharded(workers int, window time.Duration, recs []raslog.Record) []*Event {
+// temporalSharded is the temporal stage on the given worker count, over
+// the pre-built columnar store.
+func temporalSharded(workers int, window time.Duration, cols *store.Events, recs []raslog.Record, perLoc [][]int) []*Event {
 	w := parallel.Workers(workers)
 	if w <= 1 || len(recs) < 2*w {
-		return Temporal(window, recs)
+		out := untag(temporalCluster(window, cols, recs, allIndices(len(recs)), perLoc))
+		sortEvents(out)
+		return out
 	}
 	shards := make([][]int, w)
 	for i := range recs {
-		s := shardOf(recs[i].Location+"\x00"+recs[i].ErrCode, w)
+		s := shardOfKey(packKey(cols.Loc[i], cols.Code[i]), w)
 		shards[s] = append(shards[s], i)
 	}
 	parts, _ := parallel.Map(context.Background(), w, w, func(s int) ([]tagged, error) {
-		return temporalCluster(window, recs, shards[s]), nil
+		return temporalCluster(window, cols, recs, shards[s], perLoc), nil
 	})
 	var all []tagged
 	for _, p := range parts {
@@ -98,13 +112,14 @@ func temporalSharded(workers int, window time.Duration, recs []raslog.Record) []
 
 // spatialCluster runs the spatial merge over the events named by idxs
 // (increasing), tagging each merged cluster with its first event index.
-func spatialCluster(window time.Duration, events []*Event, idxs []int) []tagged {
-	open := make(map[string]*Event)
+// Open clusters live in a dense per-ErrcodeID slice of size nCodes.
+func spatialCluster(window time.Duration, events []*Event, idxs []int, nCodes int) []tagged {
+	open := make([]*Event, nCodes)
 	var out []tagged
 	for _, i := range idxs {
 		ev := events[i]
-		cur, ok := open[ev.Code]
-		if ok && ev.First.Sub(cur.Last) <= window {
+		cur := open[ev.Code]
+		if cur != nil && ev.First.Sub(cur.Last) <= window {
 			if ev.Last.After(cur.Last) {
 				cur.Last = ev.Last
 			}
@@ -126,19 +141,21 @@ func spatialCluster(window time.Duration, events []*Event, idxs []int) []tagged 
 	return out
 }
 
-// spatialSharded is Spatial on the given worker count.
-func spatialSharded(workers int, window time.Duration, events []*Event) []*Event {
+// spatialSharded is the spatial stage on the given worker count.
+func spatialSharded(workers int, window time.Duration, events []*Event, nCodes int) []*Event {
 	w := parallel.Workers(workers)
 	if w <= 1 || len(events) < 2*w {
-		return Spatial(window, events)
+		out := untag(spatialCluster(window, events, allIndices(len(events)), nCodes))
+		sortEvents(out)
+		return out
 	}
 	shards := make([][]int, w)
 	for i, ev := range events {
-		s := shardOf(ev.Code, w)
+		s := shardOfKey(uint64(uint32(ev.Code)), w)
 		shards[s] = append(shards[s], i)
 	}
 	parts, _ := parallel.Map(context.Background(), w, w, func(s int) ([]tagged, error) {
-		return spatialCluster(window, events, shards[s]), nil
+		return spatialCluster(window, events, shards[s], nCodes), nil
 	})
 	var all []tagged
 	for _, p := range parts {
@@ -149,56 +166,71 @@ func spatialSharded(workers int, window time.Duration, events []*Event) []*Event
 	return out
 }
 
-// pairCount is one shard's partial causality-mining aggregate.
+// pairCount is one shard's partial causality-mining aggregate: packed
+// (leader, follower) pair counts plus a dense per-code total column.
 type pairCount struct {
-	co    map[codePair]int
-	total map[string]int
+	co    map[uint64]int
+	total []int
+}
+
+// unpackPair splits a packed (leader, follower) ErrcodeID pair.
+func unpackPair(p uint64) (lead, follow symtab.ErrcodeID) {
+	return symtab.ErrcodeID(p >> 32), symtab.ErrcodeID(uint32(p))
 }
 
 // mineChunk counts leader→follower co-occurrences for events in
 // [lo, hi); the lookback may cross the chunk boundary (the events slice
 // is shared read-only), so chunking changes nothing about which pairs
-// are counted.
-func mineChunk(cfg Config, events []*Event, lo, hi int) pairCount {
-	pc := pairCount{co: make(map[codePair]int), total: make(map[string]int)}
+// are counted. The per-event dedup of leaders uses an epoch-stamped
+// dense slice instead of allocating a fresh set per event.
+func mineChunk(cfg Config, events []*Event, lo, hi, nCodes int) pairCount {
+	pc := pairCount{co: make(map[uint64]int), total: make([]int, nCodes)}
+	seen := make([]int, nCodes)
 	for i := lo; i < hi; i++ {
 		ev := events[i]
 		pc.total[ev.Code]++
-		seen := make(map[string]bool)
+		first := ev.First.UnixNano()
+		stamp := i - lo + 1
 		for j := i - 1; j >= 0; j-- {
 			lead := events[j]
-			if ev.First.Sub(lead.First) > cfg.CausalityWindow {
+			if first-lead.First.UnixNano() > int64(cfg.CausalityWindow) {
 				break
 			}
-			if lead.Code == ev.Code || seen[lead.Code] {
+			if lead.Code == ev.Code || seen[lead.Code] == stamp {
 				continue
 			}
-			seen[lead.Code] = true
-			pc.co[codePair{lead.Code, ev.Code}]++
+			seen[lead.Code] = stamp
+			pc.co[packPair(lead.Code, ev.Code)]++
 		}
 	}
 	return pc
 }
 
+// packPair packs a (leader, follower) ErrcodeID pair into one uint64.
+func packPair(lead, follow symtab.ErrcodeID) uint64 {
+	return uint64(uint32(lead))<<32 | uint64(uint32(follow))
+}
+
 // mineCausalitySharded is MineCausality on the given worker count: the
 // per-event lookback scan is chunked across workers and the commutative
 // integer counts are merged, so the mined rule set is identical.
-func mineCausalitySharded(workers int, cfg Config, events []*Event) []Rule {
+func mineCausalitySharded(workers int, cfg Config, events []*Event, nCodes int) []Rule {
 	w := parallel.Workers(workers)
 	if w <= 1 || len(events) < 2*w {
-		return MineCausality(cfg, events)
+		pc := mineChunk(cfg, events, 0, len(events), nCodes)
+		return rulesFromCounts(cfg, pc.co, pc.total)
 	}
 	chunks := parallel.Chunks(w, len(events))
 	parts, _ := parallel.Map(context.Background(), w, len(chunks), func(c int) (pairCount, error) {
-		return mineChunk(cfg, events, chunks[c][0], chunks[c][1]), nil
+		return mineChunk(cfg, events, chunks[c][0], chunks[c][1], nCodes), nil
 	})
-	merged := pairCount{co: make(map[codePair]int), total: make(map[string]int)}
+	merged := pairCount{co: make(map[uint64]int), total: make([]int, nCodes)}
 	for _, p := range parts {
 		for k, n := range p.co {
 			merged.co[k] += n
 		}
-		for k, n := range p.total {
-			merged.total[k] += n
+		for c, n := range p.total {
+			merged.total[c] += n
 		}
 	}
 	return rulesFromCounts(cfg, merged.co, merged.total)

@@ -4,7 +4,19 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/raslog"
+	"repro/internal/store"
+	"repro/internal/symtab"
 )
+
+// stageInput columnarizes recs into a fresh table and returns everything
+// the sharded stage runners need.
+func stageInput(recs []raslog.Record) (*symtab.Table, *store.Events, [][]int) {
+	tab := symtab.NewTable()
+	cols := raslog.Columnarize(tab, recs)
+	return tab, cols, locMidplanes(tab, cols)
+}
 
 // TestShardedStagesMatchSequential is the stage-level determinism
 // oracle: every worker count must reproduce the sequential cascade
@@ -13,22 +25,23 @@ func TestShardedStagesMatchSequential(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		recs := randomFatalStream(seed, 5000)
 
-		wantT := Temporal(5*time.Minute, recs)
+		wantT := Temporal(symtab.NewTable(), 5*time.Minute, recs)
 		wantS := Spatial(5*time.Minute, wantT)
 		wantR := MineCausality(DefaultConfig(), wantS)
 
 		for _, p := range []int{2, 3, 8, 16} {
-			gotT := temporalSharded(p, 5*time.Minute, recs)
+			tab, cols, perLoc := stageInput(recs)
+			gotT := temporalSharded(p, 5*time.Minute, cols, recs, perLoc)
 			if !reflect.DeepEqual(gotT, wantT) {
 				t.Fatalf("seed %d p=%d: temporal shards diverge (%d vs %d events)",
 					seed, p, len(gotT), len(wantT))
 			}
-			gotS := spatialSharded(p, 5*time.Minute, gotT)
+			gotS := spatialSharded(p, 5*time.Minute, gotT, tab.Errcodes.Len())
 			if !reflect.DeepEqual(gotS, wantS) {
 				t.Fatalf("seed %d p=%d: spatial shards diverge (%d vs %d events)",
 					seed, p, len(gotS), len(wantS))
 			}
-			gotR := mineCausalitySharded(p, DefaultConfig(), gotS)
+			gotR := mineCausalitySharded(p, DefaultConfig(), gotS, tab.Errcodes.Len())
 			if !reflect.DeepEqual(gotR, wantR) {
 				t.Fatalf("seed %d p=%d: mined rules diverge (%v vs %v)",
 					seed, p, gotR, wantR)
@@ -43,11 +56,11 @@ func TestPipelineParallelismKnob(t *testing.T) {
 	recs := randomFatalStream(7, 8000)
 	seq := DefaultConfig()
 	seq.Parallelism = 1
-	wantEvs, wantSt := Pipeline(seq, recs)
+	wantEvs, wantSt := Pipeline(seq, symtab.NewTable(), recs)
 	for _, p := range []int{0, 2, 4, 9} {
 		cfg := DefaultConfig()
 		cfg.Parallelism = p
-		evs, st := Pipeline(cfg, recs)
+		evs, st := Pipeline(cfg, symtab.NewTable(), recs)
 		if st != wantSt {
 			t.Fatalf("p=%d: stats %+v, want %+v", p, st, wantSt)
 		}
@@ -57,12 +70,43 @@ func TestPipelineParallelismKnob(t *testing.T) {
 	}
 }
 
+// TestSymtabIDsParallelismIndependent is the ID-determinism oracle the
+// whole refactor rests on: the dictionary a Pipeline run builds —
+// names, IDs, ordering — must be identical for the sequential run and
+// every parallel run, because interning happens over the time-sorted
+// stream before sharding. Run under -race in CI (make race / ci.sh).
+func TestSymtabIDsParallelismIndependent(t *testing.T) {
+	recs := randomFatalStream(13, 6000)
+	seq := DefaultConfig()
+	seq.Parallelism = 1
+	tabSeq := symtab.NewTable()
+	Pipeline(seq, tabSeq, recs)
+	want := tabSeq.Freeze()
+
+	for _, p := range []int{2, 8, 0} {
+		cfg := DefaultConfig()
+		cfg.Parallelism = p
+		tab := symtab.NewTable()
+		Pipeline(cfg, tab, recs)
+		got := tab.Freeze()
+		if !reflect.DeepEqual(got.Errcodes.All(), want.Errcodes.All()) {
+			t.Fatalf("p=%d: errcode numbering diverges:\n got %v\nwant %v",
+				p, got.Errcodes.All(), want.Errcodes.All())
+		}
+		if !reflect.DeepEqual(got.Locations.All(), want.Locations.All()) {
+			t.Fatalf("p=%d: location numbering diverges (%d vs %d entries)",
+				p, got.Locations.Len(), want.Locations.Len())
+		}
+	}
+}
+
 // TestShardedTinyInputs exercises the small-input fallbacks.
 func TestShardedTinyInputs(t *testing.T) {
 	for n := 0; n < 5; n++ {
 		recs := randomFatalStream(11, n)
-		want := Temporal(5*time.Minute, recs)
-		got := temporalSharded(8, 5*time.Minute, recs)
+		want := Temporal(symtab.NewTable(), 5*time.Minute, recs)
+		_, cols, perLoc := stageInput(recs)
+		got := temporalSharded(8, 5*time.Minute, cols, recs, perLoc)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("n=%d: diverge", n)
 		}

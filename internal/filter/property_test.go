@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/raslog"
+	"repro/internal/symtab"
 )
 
 // randomFatalStream builds a time-sorted fatal record stream with a few
@@ -39,17 +40,18 @@ func TestTemporalIdempotentOnItsOutputQuick(t *testing.T) {
 	// its own output changes nothing (one event per surviving head).
 	f := func(seed int64) bool {
 		recs := randomFatalStream(seed, 200)
-		first := Temporal(5*time.Minute, recs)
+		tab := symtab.NewTable()
+		first := Temporal(tab, 5*time.Minute, recs)
 		// Rebuild records from the event heads.
 		heads := make([]raslog.Record, 0, len(first))
 		for _, ev := range first {
 			heads = append(heads, raslog.Record{
-				MsgID: "M", Component: ev.Component, ErrCode: ev.Code,
+				MsgID: "M", Component: ev.Component, ErrCode: tab.Errcodes.Name(ev.Code),
 				Severity: raslog.SevFatal, EventTime: ev.First,
 				Location: bgp.MidplaneLocation(ev.Midplanes[0]).String(),
 			})
 		}
-		second := Temporal(5*time.Minute, heads)
+		second := Temporal(symtab.NewTable(), 5*time.Minute, heads)
 		// Heads may still merge if two clusters of the same key start
 		// within the window of each other — never more events.
 		return len(second) <= len(first)
@@ -64,7 +66,7 @@ func TestPipelineNeverGrowsQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		recs := randomFatalStream(seed, 300)
 		cfg := DefaultConfig()
-		tOut := Temporal(cfg.TemporalWindow, recs)
+		tOut := Temporal(symtab.NewTable(), cfg.TemporalWindow, recs)
 		sOut := Spatial(cfg.SpatialWindow, tOut)
 		rules := MineCausality(cfg, sOut)
 		cOut := Causality(cfg.CausalityWindow, rules, sOut)
@@ -81,7 +83,7 @@ func TestPipelineConservesRecordMassQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		recs := randomFatalStream(seed, 250)
 		cfg := DefaultConfig()
-		sOut := Spatial(cfg.SpatialWindow, Temporal(cfg.TemporalWindow, recs))
+		sOut := Spatial(cfg.SpatialWindow, Temporal(symtab.NewTable(), cfg.TemporalWindow, recs))
 		total := 0
 		for _, ev := range sOut {
 			total += ev.Size
@@ -96,7 +98,7 @@ func TestPipelineConservesRecordMassQuick(t *testing.T) {
 func TestEventsTimeOrderedAndMidplanesSortedQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		recs := randomFatalStream(seed, 250)
-		evs, _ := Pipeline(DefaultConfig(), recs)
+		evs, _ := Pipeline(DefaultConfig(), symtab.NewTable(), recs)
 		for i, ev := range evs {
 			if i > 0 && ev.First.Before(evs[i-1].First) {
 				return false
@@ -120,7 +122,7 @@ func TestEventsTimeOrderedAndMidplanesSortedQuick(t *testing.T) {
 func TestTemporalZeroWindowKeepsEverything(t *testing.T) {
 	recs := randomFatalStream(1, 100)
 	// With a zero window, only records at the *same instant* merge.
-	evs := Temporal(0, recs)
+	evs := Temporal(symtab.NewTable(), 0, recs)
 	distinct := map[string]int{}
 	for _, r := range recs {
 		distinct[r.Location+"|"+r.ErrCode+"|"+r.EventTime.String()]++

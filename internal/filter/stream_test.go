@@ -2,11 +2,13 @@ package filter
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/raslog"
+	"repro/internal/symtab"
 )
 
 // streamLog marshals records in shuffled-but-deterministic file order;
@@ -40,11 +42,14 @@ func TestPipelineFromLogMatchesStore(t *testing.T) {
 
 	store := raslog.NewStore(recs)
 	cfg := DefaultConfig()
-	wantEv, wantSt := Pipeline(cfg, store.Fatal())
+	wantTab := symtab.NewTable()
+	wantEv, wantSt := Pipeline(cfg, wantTab, store.Fatal())
+	want := wantTab.Freeze()
 
 	for _, workers := range []int{1, 2, 8} {
 		cfg.Parallelism = workers
-		gotEv, gotSt, err := PipelineFromLog(cfg, bytes.NewReader(log))
+		tab := symtab.NewTable()
+		gotEv, gotSt, err := PipelineFromLog(cfg, tab, bytes.NewReader(log))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -59,13 +64,20 @@ func TestPipelineFromLogMatchesStore(t *testing.T) {
 				t.Fatalf("workers=%d: event %d differs:\n got %+v\nwant %+v", workers, i, gotEv[i], wantEv[i])
 			}
 		}
+		// The event Code comparisons above are only meaningful because
+		// the streaming path must also assign identical IDs.
+		got := tab.Freeze()
+		if !reflect.DeepEqual(got.Errcodes.All(), want.Errcodes.All()) ||
+			!reflect.DeepEqual(got.Locations.All(), want.Locations.All()) {
+			t.Fatalf("workers=%d: symtab numbering diverges from store path", workers)
+		}
 	}
 }
 
 func TestPipelineFromLogPropagatesDecodeError(t *testing.T) {
 	recs := syntheticRecords(50)
 	log := append(streamLog(t, recs), []byte("corrupt line\n")...)
-	_, _, err := PipelineFromLog(DefaultConfig(), bytes.NewReader(log))
+	_, _, err := PipelineFromLog(DefaultConfig(), symtab.NewTable(), bytes.NewReader(log))
 	if err == nil || !strings.Contains(err.Error(), "line 51") {
 		t.Fatalf("want decode error naming line 51, got %v", err)
 	}

@@ -10,9 +10,15 @@
 //
 // Inference is deliberately conservative (Unknown never reports):
 //   - names: an identifier, field, or function mentioning rack /
-//     midplane (mp) / nodecard (nc) / node / job / partition carries
-//     that kind; count-ish names (numRacks, nodesPerCard, rackCount)
-//     carry none.
+//     midplane (mp) / nodecard (nc) / node / job / partition /
+//     errcode / location / exec carries that kind; count-ish names
+//     (numRacks, nodesPerCard, rackCount) carry none.
+//   - typed symbol IDs: an expression whose static type is one of the
+//     symtab dictionary IDs (ErrcodeID, LocationID, ExecID, JobID)
+//     carries the corresponding kind, and a conversion between two of
+//     them keeps the operand's kind — so
+//     symtab.ErrcodeID(locID) is a location value flowing into an
+//     errcode slot, and is flagged.
 //   - geometry constants: a bound from the bgp package (NumRacks,
 //     NumMidplanes, NodeCardsPerMidplane, NumNodes) gives loop
 //     variables and comparisons the corresponding kind, so
@@ -42,12 +48,13 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "idkind",
-	Doc: "flag integer expressions that mix Blue Gene/P index spaces (rack, midplane, node card, node, job, partition)\n\n" +
-		"Index kinds are inferred from names, bgp geometry constants, and\n" +
-		"recognized conversion arithmetic; assignments, comparisons, container\n" +
-		"subscripts, composite-literal fields, and call arguments that mix two\n" +
-		"known kinds are reported. Parameter kinds are exported as facts so the\n" +
-		"check crosses package boundaries.",
+	Doc: "flag integer expressions that mix Blue Gene/P index spaces (rack, midplane, node card, node, job, partition, errcode, location, exec)\n\n" +
+		"Index kinds are inferred from names, bgp geometry constants, the\n" +
+		"symtab typed dictionary IDs, and recognized conversion arithmetic;\n" +
+		"assignments, comparisons, container subscripts, composite-literal\n" +
+		"fields, and call arguments that mix two known kinds are reported.\n" +
+		"Parameter kinds are exported as facts so the check crosses package\n" +
+		"boundaries.",
 	Run:       run,
 	FactTypes: []analysis.Fact{(*ParamKindsFact)(nil)},
 }
@@ -63,9 +70,12 @@ const (
 	Node
 	Job
 	Partition
+	Errcode
+	Location
+	Exec
 )
 
-var kindNames = [...]string{"unknown", "rack", "midplane", "node-card", "node", "job", "partition"}
+var kindNames = [...]string{"unknown", "rack", "midplane", "node-card", "node", "job", "partition", "errcode", "location", "exec"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -254,6 +264,12 @@ func (c *checker) bindAssign(lhs, rhs []ast.Expr) {
 		if nameKind(id.Name) != Unknown || countish(id.Name) {
 			continue
 		}
+		// A variable of a typed-ID type carries its kind in the type;
+		// binding it to the initializer's kind would mask a mis-kinded
+		// conversion (code := symtab.ErrcodeID(loc)).
+		if typeKind(c.pass.TypesInfo.TypeOf(id)) != Unknown {
+			continue
+		}
 		if _, bound := c.varKinds[obj]; bound {
 			continue
 		}
@@ -423,8 +439,20 @@ func (c *checker) paramKindsOf(fn *types.Func) []Kind {
 	return nil
 }
 
-// kindOf infers the index kind of an integer expression.
+// kindOf infers the index kind of an integer expression: syntactic
+// inference (names, geometry bounds, sanctioned arithmetic) first, then
+// the expression's static type when it is one of the symtab typed IDs.
+// Syntactic inference wins so a conversion like symtab.ErrcodeID(loc)
+// keeps the operand's kind rather than laundering it through the
+// target type.
 func (c *checker) kindOf(e ast.Expr) Kind {
+	if k := c.synKind(e); k != Unknown {
+		return k
+	}
+	return typeKind(c.pass.TypesInfo.TypeOf(e))
+}
+
+func (c *checker) synKind(e ast.Expr) Kind {
 	switch e := unparen(e).(type) {
 	case *ast.Ident:
 		return c.identKind(e)
@@ -599,6 +627,30 @@ func isBgpConst(obj types.Object) bool {
 	return obj.Pkg() != nil && obj.Pkg().Name() == "bgp"
 }
 
+// symtabTypeKinds maps the typed dictionary IDs of internal/symtab to
+// their index kinds; matching is by (package named "symtab", type
+// name), so the testdata mirror participates like the bgp one.
+var symtabTypeKinds = map[string]Kind{
+	"ErrcodeID":  Errcode,
+	"LocationID": Location,
+	"ExecID":     Exec,
+	"JobID":      Job,
+}
+
+// typeKind maps an expression's static type to an index kind when the
+// type is one of the symtab typed IDs.
+func typeKind(t types.Type) Kind {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return Unknown
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "symtab" {
+		return Unknown
+	}
+	return symtabTypeKinds[obj.Name()]
+}
+
 func unparen(e ast.Expr) ast.Expr {
 	for {
 		p, ok := e.(*ast.ParenExpr)
@@ -620,6 +672,9 @@ var kindTokens = map[string]Kind{
 	"node":      Node,
 	"job":       Job,
 	"partition": Partition,
+	"errcode":   Errcode,
+	"location":  Location,
+	"exec":      Exec,
 }
 
 var countTokens = map[string]bool{
@@ -678,6 +733,7 @@ func countish(name string) bool {
 var pluralTokens = map[string]Kind{
 	"racks": Rack, "midplanes": Midplane, "mps": Midplane,
 	"nodecards": NodeCard, "nodes": Node, "jobs": Job, "partitions": Partition,
+	"errcodes": Errcode, "locations": Location, "execs": Exec,
 }
 
 // containerNameKind infers the subscript space of a container from its

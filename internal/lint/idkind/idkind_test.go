@@ -44,6 +44,11 @@ func TestNameLexicon(t *testing.T) {
 		{"racks", idkind.Unknown},
 		{"tmp", idkind.Unknown},
 		{"rackMidplane", idkind.Unknown},
+		{"errcodeID", idkind.Errcode},
+		{"locationIdx", idkind.Location},
+		{"execID", idkind.Exec},
+		{"errcodeCount", idkind.Unknown},
+		{"loc", idkind.Unknown}, // deliberately not in the lexicon; the symtab types carry the kind
 	}
 	for _, c := range cases {
 		if got := idkind.NameKind(c.name); got != c.want {

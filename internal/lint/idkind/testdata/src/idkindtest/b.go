@@ -1,0 +1,47 @@
+// Fixture for the symtab typed-ID kinds: the dictionary IDs
+// (ErrcodeID, LocationID, ExecID, JobID) are distinct index spaces, and
+// a conversion between two of them keeps the operand's kind — the
+// classic mixup is laundering a LocationID into an ErrcodeID slot
+// through an explicit conversion, which the type checker accepts.
+package idkindtest
+
+import "symtab"
+
+func goodIDRoundTrip(n int) symtab.ErrcodeID {
+	code := symtab.ErrcodeID(n) // plain int carries no kind; the conversion's type does
+	return code
+}
+
+func goodIDWiden(code symtab.ErrcodeID) int {
+	return int(code)
+}
+
+func badIDConversion(loc symtab.LocationID) symtab.ErrcodeID {
+	code := symtab.ErrcodeID(loc) // want `assigning a location value to a errcode variable`
+	return code
+}
+
+func badExecConversion(e symtab.ExecID) symtab.JobID {
+	j := symtab.JobID(e) // want `assigning a exec value to a job variable`
+	return j
+}
+
+func badIDCompare(code symtab.ErrcodeID, loc symtab.LocationID) bool {
+	return int32(code) == int32(loc) // want `cross-kind comparison: errcode vs location`
+}
+
+func goodIDIndex(byLocation []string, loc symtab.LocationID) string {
+	return byLocation[loc]
+}
+
+func badIDIndex(byLocation []string, code symtab.ErrcodeID) string {
+	return byLocation[code] // want `indexing a location-keyed container with a errcode index`
+}
+
+func badJobIndex(jobs []string, code symtab.ErrcodeID) string {
+	return jobs[int(code)] // want `indexing a job-keyed container with a errcode index`
+}
+
+func goodJobIndex(jobs []string, j symtab.JobID) string {
+	return jobs[int(j)]
+}

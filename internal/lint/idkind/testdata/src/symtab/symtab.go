@@ -1,0 +1,13 @@
+// Fixture mirror of the repo's internal/symtab typed dictionary IDs.
+// idkind matches these by (package named "symtab", type name), so this
+// mirror participates in the type-driven kind inference exactly like
+// the real package.
+package symtab
+
+type ErrcodeID int32
+
+type LocationID int32
+
+type ExecID int32
+
+type JobID int32

@@ -6,13 +6,17 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/raslog"
+	"repro/internal/symtab"
 )
 
-var t0 = time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC)
+var (
+	t0   = time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC)
+	ptab = symtab.NewTable()
+)
 
 func ev(code string, at time.Duration, mps ...int) *filter.Event {
 	return &filter.Event{
-		Code: code, Component: raslog.CompKernel,
+		Code: ptab.Errcodes.Intern(code), Component: raslog.CompKernel,
 		First: t0.Add(at), Last: t0.Add(at), Midplanes: mps, Size: 1,
 	}
 }

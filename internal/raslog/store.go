@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/linescan"
+	"repro/internal/store"
+	"repro/internal/symtab"
 )
 
 // Writer streams records to an underlying io.Writer, one line each.
@@ -246,11 +248,37 @@ func (s *Store) Span() (first, last time.Time) {
 // locations resolve via bgp.Location.Midplanes semantics, and records
 // whose location cannot be parsed at all yield nil.
 func RecordMidplanes(r Record) []int {
-	loc, err := bgp.ParseLocation(r.Location)
+	return LocationMidplanes(r.Location)
+}
+
+// LocationMidplanes resolves a location-code string to its global
+// midplane indices (nil when unparseable). With interned locations the
+// filter cascade parses each distinct location once per run instead of
+// once per record.
+func LocationMidplanes(loc string) []int {
+	l, err := bgp.ParseLocation(loc)
 	if err != nil {
 		return nil
 	}
-	return loc.Midplanes()
+	return l.Midplanes()
+}
+
+// Columnarize interns each record's ERRCODE and location into tab and
+// appends one row per record to a fresh columnar store. It runs
+// sequentially over recs in the order given — the pipeline passes the
+// time-sorted (EventTime, RecID) stream here before any sharding, which
+// is what makes symtab ID numbering independent of the -parallelism
+// knob. The retained strings were already interned per-stream by the
+// decoder, so decode→store adds no copies of them.
+func Columnarize(tab *symtab.Table, recs []Record) *store.Events {
+	ev := store.NewEvents(len(recs))
+	for i := range recs {
+		r := &recs[i]
+		ev.Append(r.RecID, r.EventTime.UnixNano(),
+			tab.Errcodes.Intern(r.ErrCode), tab.Locations.Intern(r.Location),
+			int32(r.Component), int32(r.Severity))
+	}
+	return ev
 }
 
 // CountByMidplane tallies records per global midplane index. Records

@@ -1,0 +1,99 @@
+// Package store holds the columnar struct-of-arrays event form the
+// analysis stack works over once the codec has interned its symbols:
+// parallel slices of epoch timestamps, severity/component tags and
+// dense typed IDs (see internal/symtab). The streaming readers build it
+// directly from the decode, so the grouping-heavy stages above —
+// temporal/spatial clustering, causality mining, the co-analysis maps —
+// key on 32/64-bit integers instead of hashing strings per record.
+//
+// It also provides Set, the one shared dense-ID set utility; the
+// former per-package map[string]bool helpers in internal/core collapsed
+// onto it.
+package store
+
+import "repro/internal/symtab"
+
+// Events is a columnar store of decoded RAS records: column i of every
+// slice describes the same record, in the order the rows were appended
+// (the pipeline appends in time-sorted record order, which is what
+// makes ID numbering deterministic; see symtab).
+type Events struct {
+	// RecID is the record's sequence number column.
+	RecID []int64
+	// Time is the event-time column in Unix nanoseconds (UTC wall
+	// clock); window arithmetic on it is plain int64 subtraction.
+	Time []int64
+	// Code is the interned ERRCODE column.
+	Code []symtab.ErrcodeID
+	// Loc is the interned location-code column.
+	Loc []symtab.LocationID
+	// Comp and Sev are the reporting component and severity tags
+	// (raslog.Component / raslog.Severity values; stored as int32 so
+	// this package stays below the codec in the import graph).
+	Comp []int32
+	Sev  []int32
+}
+
+// NewEvents returns an empty store with capacity for n rows in every
+// column.
+func NewEvents(n int) *Events {
+	return &Events{
+		RecID: make([]int64, 0, n),
+		Time:  make([]int64, 0, n),
+		Code:  make([]symtab.ErrcodeID, 0, n),
+		Loc:   make([]symtab.LocationID, 0, n),
+		Comp:  make([]int32, 0, n),
+		Sev:   make([]int32, 0, n),
+	}
+}
+
+// Append adds one row.
+func (e *Events) Append(recID, timeNS int64, code symtab.ErrcodeID, loc symtab.LocationID, comp, sev int32) {
+	e.RecID = append(e.RecID, recID)
+	e.Time = append(e.Time, timeNS)
+	e.Code = append(e.Code, code)
+	e.Loc = append(e.Loc, loc)
+	e.Comp = append(e.Comp, comp)
+	e.Sev = append(e.Sev, sev)
+}
+
+// Len returns the number of rows.
+func (e *Events) Len() int { return len(e.RecID) }
+
+// Set is a bitset over dense interned IDs — the shared replacement for
+// the ad-hoc map[string]bool membership helpers the analysis layers
+// used to keep. The zero value is an empty set; Add grows it as needed.
+type Set[T ~int32] struct {
+	bits []uint64
+	n    int
+}
+
+// NewSet returns an empty set pre-sized for IDs < n.
+func NewSet[T ~int32](n int) *Set[T] {
+	return &Set[T]{bits: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts id and reports whether it was absent.
+func (s *Set[T]) Add(id T) bool {
+	w, b := int(id)>>6, uint64(1)<<(uint(id)&63)
+	if w >= len(s.bits) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.bits)
+		s.bits = grown
+	}
+	if s.bits[w]&b != 0 {
+		return false
+	}
+	s.bits[w] |= b
+	s.n++
+	return true
+}
+
+// Has reports whether id is in the set.
+func (s *Set[T]) Has(id T) bool {
+	w := int(id) >> 6
+	return w < len(s.bits) && s.bits[w]&(1<<(uint(id)&63)) != 0
+}
+
+// Len returns the number of distinct IDs added.
+func (s *Set[T]) Len() int { return s.n }

@@ -1,0 +1,114 @@
+package symtab
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// FuzzSymtab drives the dictionary with arbitrary NUL-separated name
+// sequences and checks the invariants every layer above relies on:
+//
+//   - intern/resolve identity: Intern(n) twice returns the same ID, and
+//     Name(Intern(n)) == n;
+//   - dense contiguity: after interning, issued IDs are exactly
+//     0..Len()-1 in first-seen order;
+//   - snapshot immutability: a frozen view keeps answering correctly,
+//     from concurrent readers, while the live table keeps interning.
+//
+// The CI fuzz smoke runs this target with -race so the concurrent
+// reader check is a real data-race probe.
+func FuzzSymtab(f *testing.F) {
+	f.Add([]byte("a\x00b\x00a\x00c"))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\x00"))
+	f.Add([]byte("_bgp_err_ddr_str\x00R00-M1\x00_bgp_err_ddr_str"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		names := strings.Split(string(data), "\x00")
+		tab := NewTable()
+
+		want := make(map[string]ErrcodeID)
+		var order []string
+		for _, n := range names {
+			id := tab.Errcodes.Intern(n)
+			if prev, ok := want[n]; ok {
+				if id != prev {
+					t.Fatalf("re-Intern(%q) = %d, first gave %d", n, id, prev)
+				}
+				continue
+			}
+			if int(id) != len(order) {
+				t.Fatalf("Intern(%q) = %d, want next dense ID %d", n, id, len(order))
+			}
+			want[n] = id
+			order = append(order, n)
+		}
+
+		// Dense contiguity + round trip over everything issued.
+		if tab.Errcodes.Len() != len(order) {
+			t.Fatalf("Len = %d, want %d", tab.Errcodes.Len(), len(order))
+		}
+		for i, n := range order {
+			if got := tab.Errcodes.Name(ErrcodeID(i)); got != n {
+				t.Fatalf("Name(%d) = %q, want %q", i, got, n)
+			}
+			if id, ok := tab.Errcodes.Lookup(n); !ok || id != ErrcodeID(i) {
+				t.Fatalf("Lookup(%q) = %d, %v, want %d", n, id, ok, i)
+			}
+		}
+
+		// Freeze, then keep interning derived names into the live table
+		// while concurrent readers verify the snapshot never moves.
+		snap := tab.Freeze()
+		frozen := append([]string(nil), snap.Errcodes.All()...)
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if snap.Errcodes.Len() != len(frozen) {
+					t.Errorf("snapshot Len = %d, want %d", snap.Errcodes.Len(), len(frozen))
+					return
+				}
+				for i, n := range frozen {
+					if snap.Errcodes.Name(ErrcodeID(i)) != n {
+						t.Errorf("snapshot Name(%d) changed", i)
+						return
+					}
+					if id, ok := snap.Errcodes.Lookup(n); !ok || int(id) > i {
+						// Duplicates in frozen can't happen (dict is a set),
+						// so Lookup must give back exactly i.
+						t.Errorf("snapshot Lookup(%q) = %d, %v", n, id, ok)
+						return
+					}
+				}
+			}()
+		}
+		for _, n := range names {
+			tab.Errcodes.Intern(n + "'")
+			tab.Locations.Intern(n)
+			tab.Execs.Intern(n)
+		}
+		for i := range names {
+			tab.Jobs.Intern(int64(i))
+		}
+		wg.Wait()
+
+		// The live table moved; the snapshot must not have.
+		if !equalStrings(snap.Errcodes.All(), frozen) {
+			t.Fatal("snapshot contents changed after post-freeze interning")
+		}
+	})
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

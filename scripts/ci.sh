@@ -31,6 +31,20 @@ for s in $CI_STEPS; do
 	esac
 done
 
+# The bench gate lives in the workflow, not here, but its baseline
+# filename is spelled in three places; if `make bench-baseline` writes a
+# different file than the workflow compares against (or the committed
+# baseline is missing), the gate silently rots.
+BENCH_BASELINE=$(sed -n 's/.*bgpbench run .* -out \([A-Za-z0-9_.]*\.json\).*/\1/p' Makefile)
+if ! grep -q -- "-baseline $BENCH_BASELINE" .github/workflows/ci.yml; then
+	echo "ci.sh drift: 'make bench-baseline' writes $BENCH_BASELINE but the CI bench job gates a different file" >&2
+	exit 1
+fi
+if [ ! -f "$BENCH_BASELINE" ]; then
+	echo "ci.sh drift: bench baseline $BENCH_BASELINE is not committed — run 'make bench-baseline'" >&2
+	exit 1
+fi
+
 echo "== go build"
 go build ./...
 
@@ -66,5 +80,8 @@ echo "== fuzz smoke (${FUZZTIME:=10s} per target)"
 go test ./internal/raslog -fuzz FuzzParseRecord -fuzztime "$FUZZTIME"
 go test ./internal/joblog -fuzz FuzzParseJob -fuzztime "$FUZZTIME"
 go test ./internal/bgp -fuzz FuzzParseLocation -fuzztime "$FUZZTIME"
+# -race: the symtab fuzz body reads frozen snapshots from concurrent
+# goroutines; the corpus cache makes the explored inputs accumulate.
+go test -race ./internal/symtab -fuzz FuzzSymtab -fuzztime "$FUZZTIME"
 
 echo "CI OK"
