@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint lint-baseline check fuzz bench bench-baseline golden
+.PHONY: all build vet test race lint lint-baseline check smoke smoke-golden fuzz bench bench-baseline golden
 
 all: check
 
@@ -41,7 +41,17 @@ lint-baseline:
 	$(GO) build -o bin/bgplint ./cmd/bgplint
 	./bin/bgplint -write-baseline lint.baseline.json $(LINT_PKGS)
 
-check: build vet lint test race
+check: build vet lint test race smoke
+
+# End-to-end daemon smoke: boot bgpd over a deterministic sample
+# campaign, curl every endpoint family, and diff the answers against
+# the goldens under testdata/serve/. `make smoke-golden` regenerates
+# them after an intentional output change.
+smoke:
+	./scripts/smoke_bgpd.sh
+
+smoke-golden:
+	./scripts/smoke_bgpd.sh -update
 
 # Short fuzz smoke of the line parsers, the location-code grammar and
 # the symbol-table round trip (the checked-in corpora and seed inputs
@@ -54,16 +64,17 @@ fuzz:
 	$(GO) test ./internal/joblog -fuzz FuzzParseJob -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bgp -fuzz FuzzParseLocation -fuzztime $(FUZZTIME)
 	$(GO) test -race ./internal/symtab -fuzz FuzzSymtab -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -fuzz FuzzIngestBatch -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # Regenerate the committed benchmark baseline the CI `bench` job gates
 # against (fixed -benchtime/-count so reports stay diffable). Like
-# lint-baseline, review the BENCH_PR5.json diff like code — a looser
+# lint-baseline, review the BENCH_PR6.json diff like code — a looser
 # baseline is a perf regression being waved through.
 bench-baseline:
-	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR5.json
+	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR6.json
 
 # Regenerate the golden report after an intentional output change.
 golden:

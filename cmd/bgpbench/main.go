@@ -34,9 +34,10 @@ import (
 
 // benchSubset is the named benchmark set the gate watches: the codec
 // microbenchmarks (with their pre-rewrite *Legacy counterparts so the
-// speedup itself is regression-gated), the streaming pipeline, and the
+// speedup itself is regression-gated), the streaming pipeline, the
 // symtab-keyed grouping paths (the filter cascade against its
-// string-keyed legacy reference, and the co-analysis grouping stages).
+// string-keyed legacy reference, and the co-analysis grouping stages),
+// and the serving daemon's ingest and query paths.
 var benchSubset = []string{
 	"BenchmarkRASUnmarshal",
 	"BenchmarkRASUnmarshalFields",
@@ -51,10 +52,12 @@ var benchSubset = []string{
 	"BenchmarkFilterCascade",
 	"BenchmarkFilterCascadeLegacy",
 	"BenchmarkCoanalysisGrouping",
+	"BenchmarkServeIngest",
+	"BenchmarkServeQuery",
 }
 
 // benchPackages are the packages the subset lives in.
-var benchPackages = []string{"./internal/raslog", "./internal/joblog", "./internal/filter", "."}
+var benchPackages = []string{"./internal/raslog", "./internal/joblog", "./internal/filter", "./internal/serve", "."}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

@@ -19,32 +19,9 @@ import (
 	"repro"
 )
 
-var artifacts = map[string]func(*repro.Report, io.Writer) error{
-	"t1":       (*repro.Report).RenderTableI,
-	"t2":       (*repro.Report).RenderTableII,
-	"t3":       (*repro.Report).RenderTableIII,
-	"pipeline": (*repro.Report).RenderPipeline,
-	"obs1":     (*repro.Report).RenderIdentification,
-	"obs2":     (*repro.Report).RenderClassification,
-	"obs3":     (*repro.Report).RenderJobFilter,
-	"f2":       (*repro.Report).RenderFigure2,
-	"f3":       (*repro.Report).RenderFigure3,
-	"t4":       (*repro.Report).RenderTableIV,
-	"f4":       (*repro.Report).RenderFigure4,
-	"f5":       (*repro.Report).RenderFigure5,
-	"f6":       (*repro.Report).RenderFigure6,
-	"t5":       (*repro.Report).RenderTableV,
-	"obs8":     (*repro.Report).RenderPropagation,
-	"f7":       (*repro.Report).RenderFigure7,
-	"t6":       (*repro.Report).RenderTableVI,
-	"features": (*repro.Report).RenderFeatures,
-	"predict":  (*repro.Report).RenderPrediction,
-	"ckpt":     (*repro.Report).RenderCheckpointStudy,
-	"types":    (*repro.Report).RenderEventTypes,
-	"models":   (*repro.Report).RenderModelComparison,
-	"sweep":    (*repro.Report).RenderSensitivity,
-	"mpfits":   (*repro.Report).RenderMidplaneFits,
-}
+// artifacts is the registry shared with the serving layer; see
+// repro.Artifacts.
+var artifacts = repro.Artifacts()
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {

@@ -129,24 +129,30 @@ func Analyze(cfg Config, ras *raslog.Store, jobs *joblog.Log) (*Analysis, error)
 	// Campaign span: union of both logs.
 	rFirst, rLast := ras.Span()
 	jFirst, jLast := jobs.Span()
-	a.span = campaignSpan{start: rFirst, end: rLast}
-	if jFirst.Before(a.span.start) || a.span.start.IsZero() {
-		a.span.start = jFirst
-	}
-	if jLast.After(a.span.end) {
-		a.span.end = jLast
-	}
+	a.span.start, a.span.end = UnionSpan(rFirst, rLast, jFirst, jLast)
 
 	// Stage 1: temporal-spatial-causality filtering. The pipeline interns
 	// codes and locations over the time-sorted stream before sharding, so
 	// ID numbering is independent of Parallelism.
 	a.Events, a.FilterStats = filter.Pipeline(cfg.Filter, a.tab, ras.Fatal())
 
+	// Stages 2-5 are shared with the streaming entry point.
+	a.occupancy = newOccupancyIndex(jobs)
+	a.finish()
+	return a, nil
+}
+
+// finish runs the co-analysis stages downstream of the filter cascade —
+// the tail shared by Analyze and AnalyzeStream. It expects a.Events,
+// a.FilterStats, a.Jobs, a.occupancy and a.span to be set, with a.tab
+// holding the codes and locations the cascade interned.
+func (a *Analysis) finish() {
 	// Stage 2: match events against job terminations. Jobs and
 	// executables are interned in byEnd order (a JobID is its job's index
-	// into Jobs.All()).
-	a.occupancy = newOccupancyIndex(jobs)
-	for _, j := range jobs.All() {
+	// into Jobs.All()); re-interning already-known symbols is a no-op, so
+	// the numbering is the same whether the caller interned eagerly or
+	// not.
+	for _, j := range a.Jobs.All() {
 		a.tab.Jobs.Intern(j.ID)
 		a.tab.Execs.Intern(j.ExecFile)
 	}
@@ -162,7 +168,6 @@ func Analyze(cfg Config, ras *raslog.Store, jobs *joblog.Log) (*Analysis, error)
 	a.jobFilter()
 
 	a.Syms = a.tab.Freeze()
-	return a, nil
 }
 
 // EventInterruptions returns the interruptions attributed to ev.

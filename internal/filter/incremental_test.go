@@ -1,0 +1,194 @@
+package filter
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/raslog"
+	"repro/internal/simulate"
+	"repro/internal/symtab"
+)
+
+// feedAll feeds every record, failing the test on a rejection.
+func feedAll(t *testing.T, inc *Incremental, recs []raslog.Record) {
+	t.Helper()
+	for i := range recs {
+		if err := inc.Feed(&recs[i]); err != nil {
+			t.Fatalf("Feed(%d): %v", i, err)
+		}
+	}
+}
+
+// checkEquivalent asserts a snapshot of inc equals the batch pipeline
+// over the same prefix, including the symtab numbering.
+func checkEquivalent(t *testing.T, label string, cfg Config, inc *Incremental, incTab *symtab.Table, prefix []raslog.Record) {
+	t.Helper()
+	gotEv, gotSt := inc.Snapshot()
+	wantTab := symtab.NewTable()
+	wantEv, wantSt := Pipeline(cfg, wantTab, prefix)
+	if gotSt != wantSt {
+		t.Fatalf("%s: stats = %+v, want %+v", label, gotSt, wantSt)
+	}
+	if len(gotEv) != len(wantEv) {
+		t.Fatalf("%s: %d events, want %d", label, len(gotEv), len(wantEv))
+	}
+	for i := range gotEv {
+		if !reflect.DeepEqual(gotEv[i], wantEv[i]) {
+			t.Fatalf("%s: event %d = %+v, want %+v", label, i, *gotEv[i], *wantEv[i])
+		}
+	}
+	if g, w := incTab.Errcodes.Len(), wantTab.Errcodes.Len(); g != w {
+		t.Fatalf("%s: %d errcodes interned, want %d", label, g, w)
+	}
+	for id := 0; id < incTab.Errcodes.Len(); id++ {
+		if g, w := incTab.Errcodes.Name(symtab.ErrcodeID(id)), wantTab.Errcodes.Name(symtab.ErrcodeID(id)); g != w {
+			t.Fatalf("%s: errcode %d = %q, want %q", label, id, g, w)
+		}
+	}
+	if g, w := incTab.Locations.Len(), wantTab.Locations.Len(); g != w {
+		t.Fatalf("%s: %d locations interned, want %d", label, g, w)
+	}
+	for id := 0; id < incTab.Locations.Len(); id++ {
+		if g, w := incTab.Locations.Name(symtab.LocationID(id)), wantTab.Locations.Name(symtab.LocationID(id)); g != w {
+			t.Fatalf("%s: location %d = %q, want %q", label, id, g, w)
+		}
+	}
+}
+
+// TestIncrementalMatchesPipeline pins the streaming cascade's contract:
+// at any prefix of a simulated campaign's fatal stream — including
+// mid-burst points where temporal and spatial clusters are still open —
+// Snapshot equals the batch Pipeline over that prefix, and interleaved
+// snapshots never perturb later results.
+func TestIncrementalMatchesPipeline(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			camp, err := simulate.Run(simulate.Config{Seed: seed, Days: 8, NoisePerFatal: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fatal := camp.RAS.Fatal()
+			if len(fatal) < 20 {
+				t.Fatalf("campaign too quiet: %d fatal records", len(fatal))
+			}
+			cfg := DefaultConfig()
+			tab := symtab.NewTable()
+			inc := NewIncremental(cfg, tab)
+
+			// Snapshot at a handful of random interior prefixes plus the
+			// awkward ones (first record, last record).
+			rng := rand.New(rand.NewSource(seed))
+			points := map[int]bool{1: true, len(fatal): true}
+			for i := 0; i < 5; i++ {
+				points[1+rng.Intn(len(fatal))] = true
+			}
+			for i := range fatal {
+				if err := inc.Feed(&fatal[i]); err != nil {
+					t.Fatalf("Feed(%d): %v", i, err)
+				}
+				if points[i+1] {
+					checkEquivalent(t, fmt.Sprintf("prefix %d/%d", i+1, len(fatal)), cfg, inc, tab, fatal[:i+1])
+				}
+			}
+			// A second full snapshot: the first must not have perturbed
+			// anything.
+			checkEquivalent(t, "final (repeat)", cfg, inc, tab, fatal)
+		})
+	}
+}
+
+// TestIncrementalSyntheticBoundaries drives the cascade with a crafted
+// stream that sits on the window edges: same-timestamp records, gaps of
+// exactly the temporal and spatial windows (merges: the batch condition
+// is <=), one nanosecond past them (splits), and code interleavings
+// that exercise supersession and the causality lookback dedup.
+func TestIncrementalSyntheticBoundaries(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.CausalityMinSupport = 2
+	cfg.CausalityMinConfidence = 0.5
+	base := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	codes := []string{"_bgp_err_a", "_bgp_err_b", "_bgp_err_c"}
+	locs := []string{"R00-M0", "R00-M1", "R01-M0-N04", "R23-M1-N08-J09"}
+	gaps := []time.Duration{
+		0, time.Second,
+		cfg.TemporalWindow, cfg.TemporalWindow + time.Nanosecond,
+		cfg.SpatialWindow, cfg.SpatialWindow + time.Nanosecond,
+		cfg.CausalityWindow, cfg.CausalityWindow + time.Nanosecond,
+	}
+	rng := rand.New(rand.NewSource(42))
+	var recs []raslog.Record
+	now := base
+	for i := 0; i < 400; i++ {
+		now = now.Add(gaps[rng.Intn(len(gaps))])
+		recs = append(recs, raslog.Record{
+			RecID:     int64(i + 1),
+			Component: raslog.CompKernel,
+			ErrCode:   codes[rng.Intn(len(codes))],
+			Severity:  raslog.SevFatal,
+			EventTime: now,
+			Location:  locs[rng.Intn(len(locs))],
+		})
+	}
+
+	tab := symtab.NewTable()
+	inc := NewIncremental(cfg, tab)
+	for i := range recs {
+		if err := inc.Feed(&recs[i]); err != nil {
+			t.Fatalf("Feed(%d): %v", i, err)
+		}
+		// Snapshot at every 37th record keeps the shadow path hot.
+		if i%37 == 0 {
+			checkEquivalent(t, fmt.Sprintf("prefix %d", i+1), cfg, inc, tab, recs[:i+1])
+		}
+	}
+	checkEquivalent(t, "final", cfg, inc, tab, recs)
+}
+
+// TestIncrementalRejectsRegression pins the order contract: a record
+// behind the watermark is rejected and leaves the state untouched.
+func TestIncrementalRejectsRegression(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	base := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(id int64, at time.Time) raslog.Record {
+		return raslog.Record{
+			RecID: id, Component: raslog.CompKernel, ErrCode: "_bgp_err_a",
+			Severity: raslog.SevFatal, EventTime: at, Location: "R00-M0",
+		}
+	}
+	tab := symtab.NewTable()
+	inc := NewIncremental(cfg, tab)
+	r1 := mk(1, base)
+	r2 := mk(2, base.Add(time.Minute))
+	feedAll(t, inc, []raslog.Record{r1, r2})
+
+	evBefore, stBefore := inc.Snapshot()
+	old := mk(3, base.Add(30*time.Second))
+	if err := inc.Feed(&old); err == nil {
+		t.Fatal("Feed accepted a record behind the watermark")
+	}
+	sameTimeOlderID := mk(1, base.Add(time.Minute))
+	if err := inc.Feed(&sameTimeOlderID); err == nil {
+		t.Fatal("Feed accepted a same-time record with a smaller RecID")
+	}
+	evAfter, stAfter := inc.Snapshot()
+	if stBefore != stAfter || !reflect.DeepEqual(evBefore, evAfter) {
+		t.Fatal("rejected Feed perturbed the cascade state")
+	}
+	if inc.Input() != 2 {
+		t.Fatalf("Input() = %d after rejections, want 2", inc.Input())
+	}
+
+	// Equal (time, RecID) duplicates are within the contract: the batch
+	// sort is stable, so a re-sent boundary record must be accepted.
+	dup := mk(2, base.Add(time.Minute))
+	if err := inc.Feed(&dup); err != nil {
+		t.Fatalf("Feed rejected an equal-(time,RecID) record: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ package joblog
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/bgp"
 	"repro/internal/linescan"
+	"repro/internal/tailio"
 )
 
 // Job is one job record. A job is "distinct" from another iff its
@@ -455,6 +457,15 @@ func NewReader(r io.Reader) *Reader {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 64*1024), linescan.MaxLineBytes)
 	return &Reader{s: s, dec: newDecoder()}
+}
+
+// NewTailReader returns a Reader that follows a growing log: at end of
+// input it polls for more bytes (every poll interval; non-positive
+// means tailio.DefaultPoll) instead of stopping, until ctx is
+// cancelled — then it drains what is already readable and ends
+// cleanly. The decode path is identical to NewReader's.
+func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) *Reader {
+	return NewReader(tailio.NewReader(ctx, r, poll))
 }
 
 // Next advances to the next job, skipping blank lines. It returns false

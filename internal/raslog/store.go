@@ -2,6 +2,7 @@ package raslog
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/linescan"
 	"repro/internal/store"
 	"repro/internal/symtab"
+	"repro/internal/tailio"
 )
 
 // Writer streams records to an underlying io.Writer, one line each.
@@ -78,6 +80,16 @@ func NewReader(r io.Reader) *Reader {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 64*1024), linescan.MaxLineBytes)
 	return &Reader{s: s, fs: fieldScratch{it: newIntern()}}
+}
+
+// NewTailReader returns a Reader that follows a growing log: at end of
+// input it polls for more bytes (every poll interval; non-positive
+// means tailio.DefaultPoll) instead of stopping, until ctx is
+// cancelled — then it drains what is already readable and ends
+// cleanly. Partial trailing lines simply block Next until the writer
+// completes them; the decode path is identical to NewReader's.
+func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) *Reader {
+	return NewReader(tailio.NewReader(ctx, r, poll))
 }
 
 // Next advances to the next record, skipping blank lines. It returns

@@ -1,0 +1,170 @@
+package store
+
+import "repro/internal/symtab"
+
+// Time-partitioned segments for the serving layer (internal/serve): a
+// long-running ingester appends rows to one active segment at a time,
+// seals it when it reaches its row budget, and publishes immutable
+// views of the whole set. Sealing is what makes epoch publication and
+// crash recovery cheap — a sealed segment never changes, so published
+// epochs share sealed segments by pointer and the recovery path only
+// re-reads the unsealed tail.
+//
+// The concurrency contract mirrors symtab: a single writer appends and
+// seals under its own serialization (the serving layer's ingest lock),
+// and Snapshot captures a frozen view — sealed segments shared, the
+// active segment's columns clipped to their current length. Appending
+// to a Go slice beyond a previously captured length never moves or
+// mutates the elements below that length, so earlier views stay valid
+// while the writer keeps appending.
+
+// Segment is one time-contiguous run of rows. MinTime/MaxTime are the
+// row time-zone bounds maintained on append (equal to the first/last
+// row times, since the writer appends in time order).
+type Segment struct {
+	Events
+	// Seq is the segment's position in the stream, starting at 0.
+	Seq int
+	// MinTime and MaxTime bound the row times, in Unix nanoseconds;
+	// both are zero while the segment is empty.
+	MinTime, MaxTime int64
+	sealed           bool
+}
+
+// Sealed reports whether the segment will never change again.
+func (s *Segment) Sealed() bool { return s.sealed }
+
+// AppendRow adds one row and maintains the time-zone bounds. It is the
+// building block both for SegmentSet.Append and for recovery, which
+// reconstructs a sealed segment row-by-row from its persisted lines
+// before SegmentSet.Restore re-attaches it. Appending to a sealed
+// segment is a programmer error.
+func (s *Segment) AppendRow(recID, timeNS int64, code symtab.ErrcodeID, loc symtab.LocationID, comp, sev int32) {
+	if s.sealed {
+		panic("store: AppendRow on a sealed segment")
+	}
+	if s.Events.Len() == 0 || timeNS < s.MinTime {
+		s.MinTime = timeNS
+	}
+	if timeNS > s.MaxTime {
+		s.MaxTime = timeNS
+	}
+	s.Events.Append(recID, timeNS, code, loc, comp, sev)
+}
+
+// SegmentSet is the writer-side collection: zero or more sealed
+// segments plus at most one active (growing) segment.
+type SegmentSet struct {
+	// SealRows is the row budget of a segment; Append seals the active
+	// segment and opens a fresh one when it fills. Zero means the
+	// DefaultSealRows budget.
+	SealRows int
+
+	sealed []*Segment
+	active *Segment
+}
+
+// DefaultSealRows is the segment row budget when SegmentSet.SealRows is
+// zero: small enough that a crash loses little, large enough that the
+// per-segment overhead (a manifest write and an fsync) stays off the
+// per-record path.
+const DefaultSealRows = 4096
+
+// Append adds one row to the active segment, opening one if needed, and
+// returns the segment that was sealed by this append (or nil). The
+// caller persists the sealed segment before acknowledging the rows —
+// that is the durability boundary.
+func (ss *SegmentSet) Append(recID, timeNS int64, code symtab.ErrcodeID, loc symtab.LocationID, comp, sev int32) *Segment {
+	if ss.active == nil {
+		ss.active = &Segment{Seq: len(ss.sealed)}
+	}
+	ss.active.AppendRow(recID, timeNS, code, loc, comp, sev)
+	budget := ss.SealRows
+	if budget <= 0 {
+		budget = DefaultSealRows
+	}
+	if ss.active.Events.Len() >= budget {
+		return ss.Seal()
+	}
+	return nil
+}
+
+// Seal closes the active segment (if any) and returns it; subsequent
+// appends open a new segment.
+func (ss *SegmentSet) Seal() *Segment {
+	s := ss.active
+	if s == nil || s.Events.Len() == 0 {
+		return nil
+	}
+	s.sealed = true
+	ss.sealed = append(ss.sealed, s)
+	ss.active = nil
+	return s
+}
+
+// SealEmpty seals the active segment if it has rows, and otherwise
+// seals and returns a fresh empty segment claiming the next sequence
+// number. The serving layer uses the empty case as a durable
+// checkpoint record: its manifest commits cumulative counters, ingest
+// cursors and pending jobs even when no filtered row arrived since the
+// last seal — e.g. a shutdown after a stretch of noise-only ingest.
+func (ss *SegmentSet) SealEmpty() *Segment {
+	if s := ss.Seal(); s != nil {
+		return s
+	}
+	s := &Segment{Seq: len(ss.sealed), sealed: true}
+	ss.sealed = append(ss.sealed, s)
+	return s
+}
+
+// Restore re-attaches an already-sealed segment during recovery.
+// Segments must be restored in Seq order before any Append.
+func (ss *SegmentSet) Restore(s *Segment) {
+	s.sealed = true
+	s.Seq = len(ss.sealed)
+	ss.sealed = append(ss.sealed, s)
+}
+
+// Sealed returns the sealed segments in Seq order (shared slice;
+// callers must not mutate).
+func (ss *SegmentSet) Sealed() []*Segment { return ss.sealed }
+
+// Rows returns the total row count across sealed and active segments.
+func (ss *SegmentSet) Rows() int {
+	n := 0
+	for _, s := range ss.sealed {
+		n += s.Events.Len()
+	}
+	if ss.active != nil {
+		n += ss.active.Events.Len()
+	}
+	return n
+}
+
+// Snapshot returns an immutable view of the set as of now: the sealed
+// segments shared by pointer, plus — when the active segment is
+// non-empty — a frozen copy of its header whose columns are clipped to
+// the current length. The writer may keep appending; rows below the
+// clipped lengths never change.
+func (ss *SegmentSet) Snapshot() []*Segment {
+	out := make([]*Segment, len(ss.sealed), len(ss.sealed)+1)
+	copy(out, ss.sealed)
+	if a := ss.active; a != nil && a.Events.Len() > 0 {
+		frozen := &Segment{
+			Seq:     a.Seq,
+			MinTime: a.MinTime,
+			MaxTime: a.MaxTime,
+			sealed:  false,
+			Events: Events{
+				RecID: a.Events.RecID[:len(a.Events.RecID):len(a.Events.RecID)],
+				Time:  a.Events.Time[:len(a.Events.Time):len(a.Events.Time)],
+				Code:  a.Events.Code[:len(a.Events.Code):len(a.Events.Code)],
+				Loc:   a.Events.Loc[:len(a.Events.Loc):len(a.Events.Loc)],
+				Comp:  a.Events.Comp[:len(a.Events.Comp):len(a.Events.Comp)],
+				Sev:   a.Events.Sev[:len(a.Events.Sev):len(a.Events.Sev)],
+			},
+		}
+		out = append(out, frozen)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+func TestSegmentSetSealAndSnapshot(t *testing.T) {
+	ss := &SegmentSet{SealRows: 3}
+	var sealedSeqs []int
+	for i := 0; i < 7; i++ {
+		if s := ss.Append(int64(i+1), int64(i)*100, symtab.ErrcodeID(i%2), symtab.LocationID(i%3), 1, 2); s != nil {
+			if !s.Sealed() {
+				t.Fatalf("append returned an unsealed segment")
+			}
+			sealedSeqs = append(sealedSeqs, s.Seq)
+		}
+	}
+	if want := []int{0, 1}; len(sealedSeqs) != 2 || sealedSeqs[0] != want[0] || sealedSeqs[1] != want[1] {
+		t.Fatalf("sealed seqs = %v, want %v", sealedSeqs, want)
+	}
+	if got := ss.Rows(); got != 7 {
+		t.Fatalf("Rows() = %d, want 7", got)
+	}
+
+	snap := ss.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d segments, want 3 (2 sealed + active)", len(snap))
+	}
+	if snap[2].Sealed() {
+		t.Fatal("active-tail view reports sealed")
+	}
+	if got := snap[2].Events.Len(); got != 1 {
+		t.Fatalf("active-tail view has %d rows, want 1", got)
+	}
+	if snap[0].MinTime != 0 || snap[0].MaxTime != 200 {
+		t.Fatalf("segment 0 zone = [%d, %d], want [0, 200]", snap[0].MinTime, snap[0].MaxTime)
+	}
+
+	// Appends after the snapshot must not disturb the frozen view, and
+	// the tail view's columns must be capacity-clipped so an append
+	// cannot extend them in place.
+	tailLen := snap[2].Events.Len()
+	for i := 7; i < 11; i++ {
+		ss.Append(int64(i+1), int64(i)*100, 0, 0, 1, 2)
+	}
+	if got := snap[2].Events.Len(); got != tailLen {
+		t.Fatalf("snapshot tail grew to %d rows after later appends", got)
+	}
+	if got := cap(snap[2].Events.RecID); got != tailLen {
+		t.Fatalf("snapshot tail cap = %d, want %d (full slice expression)", got, tailLen)
+	}
+	if snap[2].Events.RecID[0] != 7 {
+		t.Fatalf("snapshot tail row mutated: RecID[0] = %d, want 7", snap[2].Events.RecID[0])
+	}
+
+	// The second loop crossed the budget once more (rows 7..9 sealed as
+	// seq 2), leaving a 2-row active remainder; Seal flushes it, and an
+	// empty set seals to nil.
+	if s := ss.Seal(); s == nil || s.Events.Len() != 2 {
+		t.Fatalf("final Seal = %+v, want 2-row segment", s)
+	}
+	if s := ss.Seal(); s != nil {
+		t.Fatalf("Seal with no active segment = %+v, want nil", s)
+	}
+	if got := len(ss.Sealed()); got != 4 {
+		t.Fatalf("%d sealed segments, want 4", got)
+	}
+}
+
+func TestSegmentSetRestore(t *testing.T) {
+	var ss SegmentSet
+	seg := &Segment{MinTime: 5, MaxTime: 9}
+	seg.Events.Append(1, 5, 0, 0, 1, 2)
+	seg.Events.Append(2, 9, 0, 0, 1, 2)
+	ss.Restore(seg)
+	if !seg.Sealed() || seg.Seq != 0 {
+		t.Fatalf("restored segment sealed=%v seq=%d, want sealed seq 0", seg.Sealed(), seg.Seq)
+	}
+	// The next appended segment continues the Seq numbering.
+	ss.SealRows = 1
+	s := ss.Append(3, 10, 0, 0, 1, 2)
+	if s == nil || s.Seq != 1 {
+		t.Fatalf("segment after restore = %+v, want seq 1", s)
+	}
+	if got := ss.Rows(); got != 3 {
+		t.Fatalf("Rows() = %d, want 3", got)
+	}
+}

@@ -130,6 +130,36 @@ type Table struct {
 // NewTable returns an empty table.
 func NewTable() *Table { return &Table{} }
 
+// Clone returns an independent deep copy of the table. The serving
+// layer clones the live ingest table at epoch publication so a
+// published analysis can keep resolving names and lengths while the
+// live table goes on interning: the clone never changes again, which
+// makes it safe for the epoch's concurrent readers.
+func (t *Table) Clone() *Table {
+	c := NewTable()
+	cloneDict(&c.Errcodes, &t.Errcodes)
+	cloneDict(&c.Locations, &t.Locations)
+	cloneDict(&c.Execs, &t.Execs)
+	c.Jobs.keys = append([]int64(nil), t.Jobs.keys...)
+	if t.Jobs.ids != nil {
+		c.Jobs.ids = make(map[int64]JobID, len(t.Jobs.ids))
+		for k, v := range t.Jobs.ids {
+			c.Jobs.ids[k] = v
+		}
+	}
+	return c
+}
+
+func cloneDict[T ~int32](dst, src *Dict[T]) {
+	dst.names = append([]string(nil), src.names...)
+	if src.ids != nil {
+		dst.ids = make(map[string]T, len(src.ids))
+		for k, v := range src.ids {
+			dst.ids[k] = v
+		}
+	}
+}
+
 // Freeze returns an immutable snapshot of the table, safe for any
 // number of concurrent readers even while the live table keeps
 // interning. The snapshot copies the dictionaries, so it reflects

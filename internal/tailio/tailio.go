@@ -1,0 +1,61 @@
+// Package tailio turns a growing input — typically a log file another
+// process is appending to — into a blocking io.Reader: where a plain
+// read would report io.EOF, a tail reader polls until more bytes
+// appear or its context is cancelled. Layered under the raslog/joblog
+// streaming codecs (their tail constructors wrap this), it lets the
+// serving daemon follow live logs with the exact same decode path the
+// batch tools use: an os.File keeps returning fresh bytes after EOF
+// once the writer appends, so polling one fd is all "tail -f" needs.
+package tailio
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// DefaultPoll is the poll interval used when NewReader gets a
+// non-positive one: long enough to stay off the CPU, short enough that
+// a quiet log adds well under a second of ingest latency.
+const DefaultPoll = 200 * time.Millisecond
+
+// Reader is the tailing wrapper. It is not safe for concurrent Read
+// calls (io.Reader's usual contract).
+type Reader struct {
+	r    io.Reader
+	ctx  context.Context
+	poll time.Duration
+}
+
+// NewReader wraps r. Read blocks over r's io.EOF, retrying every poll
+// interval, until the context is cancelled — at which point it drains
+// whatever is already readable and then reports a clean io.EOF, so
+// line scanners downstream terminate without error.
+func NewReader(ctx context.Context, r io.Reader, poll time.Duration) *Reader {
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	return &Reader{r: r, ctx: ctx, poll: poll}
+}
+
+// Read implements io.Reader with EOF-as-wait semantics.
+func (t *Reader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.r.Read(p)
+		if n > 0 {
+			// Deliver the bytes; a sticky error resurfaces on the next
+			// call, per the io.Reader convention.
+			return n, nil
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		// At EOF (or a spurious zero-byte read): wait for growth or
+		// cancellation. Cancellation reads as end-of-stream.
+		select {
+		case <-t.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(t.poll):
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package tailio_test
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/raslog"
+	"repro/internal/tailio"
+)
+
+// growingBuffer is a goroutine-safe buffer whose Read reports io.EOF
+// when drained — the same shape as reading a log file another process
+// appends to.
+type growingBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+	off int
+}
+
+func (g *growingBuffer) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.buf = append(g.buf, p...)
+	return len(p), nil
+}
+
+func (g *growingBuffer) Read(p []byte) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.off >= len(g.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, g.buf[g.off:])
+	g.off += n
+	return n, nil
+}
+
+func TestReaderWaitsOverEOFAndEndsOnCancel(t *testing.T) {
+	t.Parallel()
+	var g growingBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := tailio.NewReader(ctx, &g, time.Millisecond)
+
+	if _, err := g.Write([]byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 16)
+	n, err := tr.Read(p)
+	if err != nil || string(p[:n]) != "hello\n" {
+		t.Fatalf("Read = %q, %v; want \"hello\\n\", nil", p[:n], err)
+	}
+
+	// A read racing a writer must block over the EOF, then deliver.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n, err := tr.Read(p)
+		if err != nil || string(p[:n]) != "more" {
+			t.Errorf("Read = %q, %v; want \"more\", nil", p[:n], err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader reach its poll loop
+	if _, err := g.Write([]byte("more")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("tail read did not observe appended bytes")
+	}
+
+	// Cancellation: pending bytes drain first, then a clean EOF.
+	if _, err := g.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	n, err = tr.Read(p)
+	if err != nil || string(p[:n]) != "tail" {
+		t.Fatalf("post-cancel Read = %q, %v; want \"tail\", nil", p[:n], err)
+	}
+	if _, err := tr.Read(p); err != io.EOF {
+		t.Fatalf("drained post-cancel Read error = %v, want io.EOF", err)
+	}
+}
+
+// TestTailThroughRASCodec pins the composition the daemon uses: the
+// raslog streaming decoder over a tail reader sees records as their
+// lines are completed — a partially written line never surfaces — and
+// terminates cleanly on cancel.
+func TestTailThroughRASCodec(t *testing.T) {
+	t.Parallel()
+	var g growingBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	r := raslog.NewTailReader(ctx, &g, time.Millisecond)
+
+	rec := raslog.Record{
+		RecID: 1, MsgID: "KERN_0802", Component: raslog.CompKernel,
+		ErrCode: "_bgp_err_test", Severity: raslog.SevFatal,
+		EventTime: time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC),
+		Location:  "R00-M0",
+	}
+	line := rec.MarshalLine()
+
+	type result struct {
+		recs []raslog.Record
+		err  error
+	}
+	results := make(chan result, 1)
+	go func() {
+		var got []raslog.Record
+		for r.Next() {
+			got = append(got, *r.Record())
+		}
+		results <- result{got, r.Err()}
+	}()
+
+	// Write the first record in two halves with a pause: the decoder
+	// must wait for the newline, not error on the fragment.
+	half := len(line) / 2
+	if _, err := g.Write([]byte(line[:half])); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, err := g.Write([]byte(line[half:] + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := rec
+	rec2.RecID = 2
+	rec2.EventTime = rec.EventTime.Add(time.Second)
+	if _, err := g.Write([]byte(rec2.MarshalLine() + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the tail loop drain both lines
+	cancel()
+
+	select {
+	case res := <-results:
+		if res.err != nil {
+			t.Fatalf("reader error: %v", res.err)
+		}
+		if len(res.recs) != 2 || res.recs[0].RecID != 1 || res.recs[1].RecID != 2 {
+			t.Fatalf("decoded %d records %+v, want RecIDs 1, 2", len(res.recs), res.recs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tail decode did not terminate after cancel")
+	}
+}

@@ -67,17 +67,15 @@ func (r *Report) RenderAll(w io.Writer) error {
 // RenderTableI writes the log-summary table (Table I).
 func (r *Report) RenderTableI(w io.Writer) error {
 	start, end := r.analysis.Span()
-	rasBytes, jobBytes := 0, 0
-	for _, rec := range r.ras.All() {
-		rasBytes += len(rec.MarshalLine()) + 1
-	}
+	ls := r.logStats()
+	jobBytes := 0
 	for _, j := range r.jobs.All() {
 		jobBytes += len(j.MarshalLine()) + 1
 	}
 	t := report.NewTable("Table I: summary of the RAS log and job log",
 		"Log", "Days", "Start", "End", "Size", "Records")
 	t.AddRow("RAS", r.days, start.Format("2006-01-02"), end.Format("2006-01-02"),
-		byteSize(rasBytes), r.ras.Len())
+		byteSize(ls.RASBytes), ls.RASRecords)
 	t.AddRow("Job", r.days, start.Format("2006-01-02"), end.Format("2006-01-02"),
 		byteSize(jobBytes), r.jobs.Len())
 	return t.Render(w)
@@ -96,15 +94,14 @@ func byteSize(n int) string {
 	}
 }
 
-// RenderTableII writes one example RAS record (Table II).
+// RenderTableII writes one example RAS record (Table II): the first
+// FATAL record in (EventTime, RecID) order.
 func (r *Report) RenderTableII(w io.Writer) error {
-	var rec raslog.Record
-	for _, cand := range r.ras.All() {
-		if cand.Severity == raslog.SevFatal {
-			rec = cand
-			break
-		}
+	ls := r.logStats()
+	if !ls.HasFatal {
+		return fmt.Errorf("repro: no FATAL records in the RAS log")
 	}
+	rec := ls.FirstFatal
 	t := report.NewTable("Table II: example RAS event record", "Field", "Value")
 	t.AddRow("RECID", rec.RecID)
 	t.AddRow("MSG_ID", rec.MsgID)

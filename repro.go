@@ -18,6 +18,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -68,12 +69,21 @@ func QuickConfig(seed int64) Config {
 // paper's evaluation.
 type Report struct {
 	analysis *core.Analysis
-	ras      *raslog.Store
-	jobs     *joblog.Log
+	// ras is nil for streaming reports (NewStreamReport); the renderers
+	// needing raw-log aggregates read logStats() instead, and the one
+	// needing the full store (RenderSensitivity) errors without it.
+	ras  *raslog.Store
+	jobs *joblog.Log
 	// truth is non-nil only for simulated campaigns; external logs have
 	// no oracle.
 	truth *sched.GroundTruth
 	days  int
+
+	// rasStats is injected by NewStreamReport (statsSet true) or derived
+	// lazily from ras under statsOnce.
+	statsOnce sync.Once
+	statsSet  bool
+	rasStats  LogStats
 }
 
 // Run simulates a campaign and analyzes it.

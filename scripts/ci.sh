@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 # comment used to be the only enforcement. CI_STEPS is the set of make
 # check steps this script implements — if the Makefile's check recipe
 # gains or loses a step without this script following, fail loudly.
-CI_STEPS="build vet lint test race"
+CI_STEPS="build vet lint test race smoke"
 MAKE_STEPS=$(sed -n 's/^check:[[:space:]]*//p' Makefile)
 echo "== drift check (ci.sh vs make check)"
 for s in $MAKE_STEPS; do
@@ -76,6 +76,9 @@ go test ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== bgpd smoke (end-to-end daemon golden diff)"
+./scripts/smoke_bgpd.sh
+
 echo "== fuzz smoke (${FUZZTIME:=10s} per target)"
 go test ./internal/raslog -fuzz FuzzParseRecord -fuzztime "$FUZZTIME"
 go test ./internal/joblog -fuzz FuzzParseJob -fuzztime "$FUZZTIME"
@@ -83,5 +86,8 @@ go test ./internal/bgp -fuzz FuzzParseLocation -fuzztime "$FUZZTIME"
 # -race: the symtab fuzz body reads frozen snapshots from concurrent
 # goroutines; the corpus cache makes the explored inputs accumulate.
 go test -race ./internal/symtab -fuzz FuzzSymtab -fuzztime "$FUZZTIME"
+# Ingest-endpoint fuzz: malformed POST bodies must never panic the
+# daemon or leave a partially applied batch behind.
+go test ./internal/serve -fuzz FuzzIngestBatch -fuzztime "$FUZZTIME"
 
 echo "CI OK"

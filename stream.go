@@ -1,0 +1,117 @@
+package repro
+
+// Streaming-report support: a long-running ingester (internal/serve)
+// never retains the raw RAS store — the noise bulk dominates it — so
+// the few renderers that consume raw-log aggregates (Table I's sizes,
+// Table II's example record, the Summary counters) read them from
+// LogStats, which the ingester accumulates record by record and a
+// batch Report derives lazily from its retained store. NewStreamReport
+// assembles a Report from a streaming analysis plus those aggregates;
+// everything else renders from the Analysis and the job log exactly as
+// in the batch path, which is what makes the serve-vs-batch
+// byte-equivalence tests possible.
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+)
+
+// LogStats are the raw RAS-log aggregates the report needs once the
+// store itself is gone. Table I counts re-marshaled line bytes (not
+// raw input bytes), so accumulating from parsed records is exact.
+type LogStats struct {
+	// RASRecords counts all RAS records, noise included.
+	RASRecords int
+	// RASBytes is the re-marshaled log size in bytes, newlines included.
+	RASBytes int
+	// FatalRecords counts FATAL-severity records.
+	FatalRecords int
+	// FirstFatal is the first FATAL record in (EventTime, RecID) order —
+	// Table II's example. HasFatal guards its validity.
+	FirstFatal raslog.Record
+	HasFatal   bool
+}
+
+// ObserveRAS folds one RAS record into the aggregates. Call in
+// (EventTime, RecID) order so FirstFatal matches the batch store's
+// sorted order.
+func (ls *LogStats) ObserveRAS(rec *raslog.Record) {
+	ls.RASRecords++
+	ls.RASBytes += len(rec.MarshalLine()) + 1
+	if rec.Fatal() {
+		ls.FatalRecords++
+		if !ls.HasFatal {
+			ls.FirstFatal = *rec
+			ls.HasFatal = true
+		}
+	}
+}
+
+// logStats returns the raw-log aggregates, deriving them from the
+// retained store on first use for batch reports. Safe for concurrent
+// renderers.
+func (r *Report) logStats() *LogStats {
+	r.statsOnce.Do(func() {
+		if r.statsSet || r.ras == nil {
+			return
+		}
+		recs := r.ras.All()
+		for i := range recs {
+			r.rasStats.ObserveRAS(&recs[i])
+		}
+		r.statsSet = true
+	})
+	return &r.rasStats
+}
+
+// NewStreamReport assembles a Report from a streaming analysis
+// (core.AnalyzeStream) and pre-accumulated raw-log aggregates. The
+// resulting report renders every artifact identically to a batch
+// Report over the same records, except those needing the full raw RAS
+// store (RenderSensitivity), which return an error instead.
+func NewStreamReport(a *core.Analysis, jobs *joblog.Log, rasStats LogStats) *Report {
+	start, end := a.Span()
+	return &Report{
+		analysis: a,
+		jobs:     jobs,
+		days:     int(end.Sub(start).Hours()/24) + 1,
+		rasStats: rasStats,
+		statsSet: true,
+	}
+}
+
+// Artifacts returns the named report fragments of the paper's
+// evaluation — the registry shared by cmd/coanalyze and the serving
+// layer. The map is freshly allocated per call; callers may mutate
+// their copy.
+func Artifacts() map[string]func(*Report, io.Writer) error {
+	return map[string]func(*Report, io.Writer) error{
+		"t1":       (*Report).RenderTableI,
+		"t2":       (*Report).RenderTableII,
+		"t3":       (*Report).RenderTableIII,
+		"pipeline": (*Report).RenderPipeline,
+		"obs1":     (*Report).RenderIdentification,
+		"obs2":     (*Report).RenderClassification,
+		"obs3":     (*Report).RenderJobFilter,
+		"f2":       (*Report).RenderFigure2,
+		"f3":       (*Report).RenderFigure3,
+		"t4":       (*Report).RenderTableIV,
+		"f4":       (*Report).RenderFigure4,
+		"f5":       (*Report).RenderFigure5,
+		"f6":       (*Report).RenderFigure6,
+		"t5":       (*Report).RenderTableV,
+		"obs8":     (*Report).RenderPropagation,
+		"f7":       (*Report).RenderFigure7,
+		"t6":       (*Report).RenderTableVI,
+		"features": (*Report).RenderFeatures,
+		"predict":  (*Report).RenderPrediction,
+		"ckpt":     (*Report).RenderCheckpointStudy,
+		"types":    (*Report).RenderEventTypes,
+		"models":   (*Report).RenderModelComparison,
+		"sweep":    (*Report).RenderSensitivity,
+		"mpfits":   (*Report).RenderMidplaneFits,
+	}
+}

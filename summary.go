@@ -57,10 +57,11 @@ type Summary struct {
 // (e.g. too few interruptions in a tiny campaign) leave zero values.
 func (r *Report) Summary() Summary {
 	a := r.analysis
+	ls := r.logStats()
 	s := Summary{
 		Days:         r.days,
-		TotalRecords: r.ras.Len(),
-		FatalRecords: len(r.ras.Fatal()),
+		TotalRecords: ls.RASRecords,
+		FatalRecords: ls.FatalRecords,
 		TotalJobs:    r.jobs.Len(),
 	}
 	s.DistinctJobs, s.ResubmittedJobs = r.jobs.DistinctExecutables()
