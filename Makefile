@@ -20,13 +20,17 @@ test:
 	$(GO) test ./...
 
 # Every concurrency change must survive the race detector; the
-# equivalence and sharding tests run under it here.
+# equivalence, sharding and serve hammer tests run under it here. The
+# hammer tests only exercise real interleavings with enough parallelism,
+# so force at least four Ps even on small CI runners.
+RACE_PROCS = $(shell np=$$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4); if [ "$$np" -lt 4 ]; then np=4; fi; echo $$np)
 race:
-	$(GO) test -race ./...
+	GOMAXPROCS=$(RACE_PROCS) $(GO) test -race ./...
 
-# Determinism & domain analyzers (callgraph, detrand, errcode, idkind,
-# maporder, seedtaint, sharedfold), gated against the committed
-# baseline: only NEW findings fail (exit 1; exit 2 = tool failure).
+# Determinism, domain & concurrency analyzers (atomicpub, callgraph,
+# commitseq, detrand, errcode, frozen, idkind, lockguard, maporder,
+# seedtaint, sharedfold), gated against the committed baseline: only
+# NEW findings fail (exit 1; exit 2 = tool failure).
 # Also runnable through the vet driver, which additionally covers
 # _test.go files: go vet -vettool=$(PWD)/bin/bgplint ./...
 LINT_PKGS = ./... ./cmd/... ./examples/...
@@ -53,8 +57,9 @@ smoke:
 smoke-golden:
 	./scripts/smoke_bgpd.sh -update
 
-# Short fuzz smoke of the line parsers, the location-code grammar and
-# the symbol-table round trip (the checked-in corpora and seed inputs
+# Short fuzz smoke of the line parsers, the location-code grammar, the
+# symbol-table round trip, the ingest endpoints, and the seal/persist/
+# restore durability boundary (the checked-in corpora and seed inputs
 # always run as part of `test`; this explores further). The symtab
 # target runs under -race: its fuzz body exercises frozen snapshots
 # under concurrent readers.
@@ -65,6 +70,7 @@ fuzz:
 	$(GO) test ./internal/bgp -fuzz FuzzParseLocation -fuzztime $(FUZZTIME)
 	$(GO) test -race ./internal/symtab -fuzz FuzzSymtab -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -fuzz FuzzIngestBatch -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -fuzz FuzzSegmentSealRestore -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

@@ -1,7 +1,8 @@
-// Command bgplint is the multichecker for this repo's determinism and
-// parallel-safety invariants: the callgraph, detrand, errcode, idkind,
+// Command bgplint is the multichecker for this repo's determinism,
+// parallel-safety, and concurrency invariants: the atomicpub,
+// callgraph, commitseq, detrand, errcode, frozen, idkind, lockguard,
 // maporder, seedtaint and sharedfold analyzers (see internal/lint and
-// DESIGN.md "Determinism invariants").
+// DESIGN.md "Determinism invariants" / "Concurrency invariants").
 //
 // Standalone:
 //
@@ -50,7 +51,7 @@ import (
 )
 
 // toolVersion labels SARIF output; bump alongside analyzer additions.
-const toolVersion = "2.0"
+const toolVersion = "3.0"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout))

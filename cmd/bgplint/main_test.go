@@ -12,7 +12,8 @@ import (
 )
 
 // copyFixture clones testdata/modfixture — a standalone module with
-// one seedtaint finding — into a temp dir the test may mutate.
+// one seedtaint finding and one atomicpub finding — into a temp dir
+// the test may mutate.
 func copyFixture(t *testing.T) string {
 	t.Helper()
 	src, err := filepath.Abs(filepath.Join("testdata", "modfixture"))
@@ -65,8 +66,10 @@ func TestExitCodeContract(t *testing.T) {
 	if code != driver.ExitFindings {
 		t.Fatalf("bare run: exit %d, want %d (findings)\noutput:\n%s", code, driver.ExitFindings, out)
 	}
-	if !strings.Contains(out, "seedtaint") {
-		t.Fatalf("bare run output does not mention seedtaint:\n%s", out)
+	for _, rule := range []string{"seedtaint", "atomicpub"} {
+		if !strings.Contains(out, rule) {
+			t.Fatalf("bare run output does not mention %s:\n%s", rule, out)
+		}
 	}
 
 	code, _ = runTool(t, "-write-baseline", "lint.baseline.json", "./...")
@@ -96,6 +99,20 @@ func TestExitCodeContract(t *testing.T) {
 	}
 	if !strings.Contains(out, "extra.go") {
 		t.Fatalf("new finding not reported:\n%s", out)
+	}
+
+	// Fixing a baselined finding leaves a stale baseline entry; the
+	// run must stay clean (exit 0), not fail on the leftover.
+	if err := os.Remove("extra.go"); err != nil {
+		t.Fatal(err)
+	}
+	clean := "package modfixture\n\nimport \"sync/atomic\"\n\ntype Published struct{ N int }\n\ntype Box struct{ cur atomic.Pointer[Published] }\n\nfunc (b *Box) BadPublish() {\n\tp := &Published{N: 1}\n\tb.cur.Store(p)\n}\n"
+	if err := os.WriteFile("atomic.go", []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out = runTool(t, "-baseline", "lint.baseline.json", "./...")
+	if code != driver.ExitClean {
+		t.Fatalf("fixed finding with stale baseline entry: exit %d, want %d\noutput:\n%s", code, driver.ExitClean, out)
 	}
 
 	code, _ = runTool(t, "-baseline", "no-such-file.json", "./...")
@@ -159,14 +176,23 @@ func checkSARIF(t *testing.T, path, wantState string) {
 		t.Errorf("rule table has %d entries, want %d (one per analyzer)", got, want)
 	}
 	if len(run.Results) == 0 {
-		t.Fatal("sarif report has no results; expected the fixture finding")
+		t.Fatal("sarif report has no results; expected the fixture findings")
 	}
+	// The fixture produces exactly one finding per file, one rule each.
+	wantURI := map[string]string{
+		"seedtaint": "fixture.go",
+		"atomicpub": "atomic.go",
+	}
+	seen := make(map[string]bool)
 	for _, r := range run.Results {
-		if r.RuleID != "seedtaint" {
-			t.Errorf("result ruleId = %q, want seedtaint", r.RuleID)
+		uri, ok := wantURI[r.RuleID]
+		if !ok {
+			t.Errorf("unexpected result ruleId %q", r.RuleID)
+			continue
 		}
-		if r.Level != lint.Severity("seedtaint") {
-			t.Errorf("result level = %q, want %q", r.Level, lint.Severity("seedtaint"))
+		seen[r.RuleID] = true
+		if r.Level != lint.Severity(r.RuleID) {
+			t.Errorf("result level = %q, want %q", r.Level, lint.Severity(r.RuleID))
 		}
 		if r.BaselineState != wantState {
 			t.Errorf("baselineState = %q, want %q", r.BaselineState, wantState)
@@ -174,11 +200,16 @@ func checkSARIF(t *testing.T, path, wantState string) {
 		if len(r.PartialFingerprints) == 0 {
 			t.Error("result has no partialFingerprints")
 		}
-		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "fixture.go" {
-			t.Errorf("result location = %+v, want fixture.go", r.Locations)
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.ArtifactLocation.URI != uri {
+			t.Errorf("%s result location = %+v, want %s", r.RuleID, r.Locations, uri)
 		}
 		if r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
 			t.Error("result region has no startLine")
+		}
+	}
+	for rule := range wantURI {
+		if !seen[rule] {
+			t.Errorf("sarif report has no %s result", rule)
 		}
 	}
 }

@@ -1,0 +1,17 @@
+package modfixture
+
+import "sync/atomic"
+
+// Published is a value shared with readers once stored.
+type Published struct{ N int }
+
+// Box publishes Published values through an atomic pointer.
+type Box struct{ cur atomic.Pointer[Published] }
+
+// BadPublish mutates the value after storing it: the atomicpub
+// finding this fixture exists to produce.
+func (b *Box) BadPublish() {
+	p := &Published{N: 1}
+	b.cur.Store(p)
+	p.N = 2
+}

@@ -1,0 +1,609 @@
+// Package atomicpub defines the bgplint analyzer for atomic
+// publication discipline: a field or package-level variable of type
+// sync/atomic.Pointer[T], atomic.Value, or one of the scalar atomic
+// types is a publication point, and the only safe way to touch it is
+// through its own methods — every read via Load, every replacement via
+// Store/Swap/CompareAndSwap. This is the exact contract
+// serve.Engine.epoch depends on for lock-free readers.
+//
+// Three rules:
+//
+//   - Plain access: any use of an atomic variable that is not the
+//     receiver of a sync/atomic method call is flagged — plain reads,
+//     assignments, copies (which tear the internal state), taking its
+//     address, comparisons, and composite-literal initialization.
+//   - Publish-then-mutate: after a local value is passed to
+//     Store/Swap/CompareAndSwap it is shared with concurrent readers;
+//     later writes through it race. Argument positions that publish
+//     cross function boundaries via PublishesFact.
+//   - Load-then-mutate: a value obtained from Load (directly or via a
+//     function marked PublishedFact, such as serve.Engine.Epoch) is
+//     shared; writing through it races with every other reader.
+package atomicpub
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicpub",
+	Doc: "enforce publication discipline on atomic.Pointer/atomic.Value fields\n\n" +
+		"Atomic publication points must only be touched via Load/Store/Swap/\n" +
+		"CompareAndSwap, and a value that has been published (Stored) or observed\n" +
+		"(Loaded) must never be mutated afterwards — concurrent readers hold it.\n" +
+		"Publication flows cross package boundaries via PublishesFact (parameters\n" +
+		"that reach a Store) and PublishedFact (results that come from a Load).",
+	Run:       run,
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*PublishesFact)(nil), (*PublishedFact)(nil)},
+}
+
+// A PublishesFact marks a function that stores one or more of its
+// parameters into an atomic publication point: arguments in Params
+// positions are shared with concurrent readers after the call.
+type PublishesFact struct {
+	Params []int
+}
+
+// AFact marks PublishesFact as a fact type.
+func (*PublishesFact) AFact() {}
+
+func (f *PublishesFact) String() string { return fmt.Sprintf("publishes%v", f.Params) }
+
+// A PublishedFact marks a function whose result is a published value —
+// it returns an atomic Load result (or another PublishedFact call, or
+// a value it Stored itself), so callers must treat it as shared.
+type PublishedFact struct{}
+
+// AFact marks PublishedFact as a fact type.
+func (*PublishedFact) AFact() {}
+
+func (*PublishedFact) String() string { return "published" }
+
+// atomicTypeNames are the named types in sync/atomic whose values are
+// publication points. Plain scalar atomics included: copying or plainly
+// reading them defeats the memory-ordering guarantees just the same.
+var atomicTypeNames = []string{
+	"Pointer", "Value", "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr",
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	graph     *callgraph.Result
+	publishes map[*types.Func]map[int]bool
+	published map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:      pass,
+		graph:     pass.ResultOf[callgraph.Analyzer].(*callgraph.Result),
+		publishes: make(map[*types.Func]map[int]bool),
+		published: make(map[*types.Func]bool),
+	}
+	c.inferPublishes()
+	c.inferPublished()
+	c.exportFacts()
+	for _, node := range c.graph.Order {
+		if lintutil.IsTestFile(pass.Fset, node.Decl.Pos()) {
+			continue
+		}
+		c.checkPlainAccess(node)
+		c.checkMutateAfterShare(node)
+	}
+	return nil, nil
+}
+
+// isAtomicType reports whether t is (a pointer to) one of the
+// sync/atomic publication types, including generic instantiations
+// like atomic.Pointer[Epoch].
+func isAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, n := range atomicTypeNames {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicMethodCall reports whether call invokes a method declared in
+// sync/atomic (Load/Store/Swap/CompareAndSwap/Add/Or/And...), and if
+// so returns its name and receiver expression.
+func atomicMethodCall(info *types.Info, call *ast.CallExpr) (string, ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", nil, false
+	}
+	return fn.Name(), sel.X, true
+}
+
+// atomicObj resolves e to the variable object of an atomic-typed field
+// or package-level var it names (x.epoch → Engine.epoch's *types.Var),
+// or nil.
+func atomicObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && isAtomicType(v.Type()) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && isAtomicType(v.Type()) {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkPlainAccess flags every appearance of an atomic variable that
+// is not the receiver of a sync/atomic method call, and composite
+// literals that initialize one by key.
+func (c *checker) checkPlainAccess(node *callgraph.Node) {
+	info := c.pass.TypesInfo
+	lintutil.WalkStack(node.Decl, func(stack []ast.Node, n ast.Node) {
+		switch n := n.(type) {
+		case *ast.KeyValueExpr:
+			// T{epoch: ...} — the zero value is the only valid initializer.
+			key, ok := n.Key.(*ast.Ident)
+			if !ok {
+				return
+			}
+			if v, ok := info.Uses[key].(*types.Var); ok && v.IsField() && isAtomicType(v.Type()) {
+				c.pass.Reportf(n.Pos(),
+					"atomic field %s initialized by composite literal; start from the zero value and publish with Store (atomicpub)", key.Name)
+			}
+			return
+		case *ast.SelectorExpr:
+			v, ok := info.Uses[n.Sel].(*types.Var)
+			if !ok || !isAtomicType(v.Type()) {
+				return
+			}
+			if c.legalAtomicUse(stack, n) {
+				return
+			}
+			c.pass.Reportf(n.Sel.Pos(),
+				"plain access of atomic variable %s; go through Load/Store/Swap/CompareAndSwap (atomicpub)", n.Sel.Name)
+		case *ast.Ident:
+			// Package-level atomic var used bare.
+			v, ok := info.Uses[n].(*types.Var)
+			if !ok || v.IsField() || !isAtomicType(v.Type()) {
+				return
+			}
+			// Skip the Sel half of a selector (handled above) and
+			// declaration sites.
+			if len(stack) > 0 {
+				if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == n {
+					return
+				}
+			}
+			if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return // a local of atomic type; its field/method uses are caught above
+			}
+			if c.legalAtomicUse(stack, n) {
+				return
+			}
+			c.pass.Reportf(n.Pos(),
+				"plain access of atomic variable %s; go through Load/Store/Swap/CompareAndSwap (atomicpub)", n.Name)
+		}
+	})
+}
+
+// legalAtomicUse reports whether the atomic-typed expression e, with
+// ancestor stack, is in the one legal position: receiver of a
+// sync/atomic method call, possibly behind & or parens.
+func (c *checker) legalAtomicUse(stack []ast.Node, e ast.Expr) bool {
+	info := c.pass.TypesInfo
+	cur := ast.Node(e)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				cur = p
+				continue
+			}
+			return false
+		case *ast.SelectorExpr:
+			if p.X != cur {
+				return false
+			}
+			// e.epoch.Load — the selected member must be a sync/atomic
+			// method and the grandparent the call itself.
+			fn, ok := info.Uses[p.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return false
+			}
+			if i == 0 {
+				return false
+			}
+			call, ok := stack[i-1].(*ast.CallExpr)
+			return ok && ast.Unparen(call.Fun) == ast.Expr(p)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// storeValueArg returns the argument expression that becomes shared
+// when call is an atomic publish: Store(v) and Swap(v) share arg 0,
+// CompareAndSwap(old, new) shares arg 1.
+func storeValueArg(name string, call *ast.CallExpr) ast.Expr {
+	switch name {
+	case "Store", "Swap":
+		if len(call.Args) >= 1 {
+			return call.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(call.Args) >= 2 {
+			return call.Args[1]
+		}
+	}
+	return nil
+}
+
+// inferPublishes computes, per function, which parameters flow into an
+// atomic Store value position — directly or through a call to another
+// publishing function — as a callgraph fixpoint (seedtaint-style).
+func (c *checker) inferPublishes() {
+	info := c.pass.TypesInfo
+	paramIndex := func(fn *types.Func, obj types.Object) int {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return -1
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	publishedParams := func(fn *types.Func) map[int]bool {
+		if fn == nil {
+			return nil
+		}
+		if fn.Pkg() == c.pass.Pkg {
+			return c.publishes[fn]
+		}
+		var fact PublishesFact
+		if !c.pass.ImportObjectFact(fn, &fact) {
+			return nil
+		}
+		m := make(map[int]bool, len(fact.Params))
+		for _, p := range fact.Params {
+			m[p] = true
+		}
+		return m
+	}
+
+	work := append([]*callgraph.Node(nil), c.graph.Order...)
+	inWork := make(map[*types.Func]bool, len(work))
+	for _, n := range work {
+		inWork[n.Fn] = true
+	}
+	for len(work) > 0 {
+		node := work[0]
+		work = work[1:]
+		inWork[node.Fn] = false
+		if lintutil.IsTestFile(c.pass.Fset, node.Decl.Pos()) {
+			continue
+		}
+		grown := false
+		mark := func(obj types.Object) {
+			i := paramIndex(node.Fn, obj)
+			if i < 0 {
+				return
+			}
+			set := c.publishes[node.Fn]
+			if set == nil {
+				set = make(map[int]bool)
+				c.publishes[node.Fn] = set
+			}
+			if !set[i] {
+				set[i] = true
+				grown = true
+			}
+		}
+		ast.Inspect(node.Decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, recv, isAtomic := atomicMethodCall(info, call); isAtomic {
+				if atomicObj(info, recv) == nil {
+					return true
+				}
+				if arg := storeValueArg(name, call); arg != nil {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							mark(obj)
+						}
+					}
+				}
+				return true
+			}
+			callee := lintutil.Callee(info, call)
+			for p := range publishedParams(callee) {
+				if p < len(call.Args) {
+					if id, ok := ast.Unparen(call.Args[p]).(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							mark(obj)
+						}
+					}
+				}
+			}
+			return true
+		})
+		if grown {
+			for _, caller := range c.graph.CallersOf[node.Fn] {
+				if !inWork[caller.Fn] {
+					inWork[caller.Fn] = true
+					work = append(work, caller)
+				}
+			}
+		}
+	}
+}
+
+// inferPublished marks functions whose results are shared values: the
+// function returns a Load result, a call of another published-result
+// function, or an ident it Stored itself earlier in the body (the
+// store-then-return idiom of serve.Engine.Publish).
+func (c *checker) inferPublished() {
+	info := c.pass.TypesInfo
+	isPublishedFn := func(fn *types.Func) bool {
+		if fn == nil {
+			return false
+		}
+		if fn.Pkg() == c.pass.Pkg {
+			return c.published[fn]
+		}
+		var fact PublishedFact
+		return c.pass.ImportObjectFact(fn, &fact)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range c.graph.Order {
+			if c.published[node.Fn] || lintutil.IsTestFile(c.pass.Fset, node.Decl.Pos()) {
+				continue
+			}
+			// Idents stored into an atomic point in this body.
+			stored := make(map[types.Object]bool)
+			ast.Inspect(node.Decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, recv, isAtomic := atomicMethodCall(info, call)
+				if !isAtomic || atomicObj(info, recv) == nil {
+					return true
+				}
+				if arg := storeValueArg(name, call); arg != nil {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							stored[obj] = true
+						}
+					}
+				}
+				return true
+			})
+			isLoadOrPublished := func(e ast.Expr) bool {
+				call, ok := ast.Unparen(e).(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				if name, recv, isAtomic := atomicMethodCall(info, call); isAtomic {
+					return name == "Load" && atomicObj(info, recv) != nil
+				}
+				return isPublishedFn(lintutil.Callee(info, call))
+			}
+			found := false
+			ast.Inspect(node.Decl, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if isLoadOrPublished(res) {
+						found = true
+						return false
+					}
+					if id, ok := ast.Unparen(res).(*ast.Ident); ok && stored[info.Uses[id]] {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				c.published[node.Fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func (c *checker) exportFacts() {
+	for fn, set := range c.publishes {
+		params := make([]int, 0, len(set))
+		for p := range set {
+			params = append(params, p)
+		}
+		sort.Ints(params)
+		c.pass.ExportObjectFact(fn, &PublishesFact{Params: params})
+	}
+	for fn := range c.published {
+		c.pass.ExportObjectFact(fn, &PublishedFact{})
+	}
+}
+
+// checkMutateAfterShare flags writes through locals that have been
+// published (passed to Store/Swap/CompareAndSwap or a PublishesFact
+// position) or observed (assigned from Load or a PublishedFact call).
+func (c *checker) checkMutateAfterShare(node *callgraph.Node) {
+	info := c.pass.TypesInfo
+	// shared[obj] = pos where the value became shared, with the verb.
+	shared := make(map[types.Object]token.Pos)
+	how := make(map[types.Object]string)
+	mark := func(id *ast.Ident, verb string) {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, ok := shared[obj]; !ok {
+			shared[obj] = id.Pos()
+			how[obj] = verb
+		}
+	}
+	isPublishedFn := func(fn *types.Func) bool {
+		if fn == nil {
+			return false
+		}
+		if fn.Pkg() == c.pass.Pkg {
+			return c.published[fn]
+		}
+		var fact PublishedFact
+		return c.pass.ImportObjectFact(fn, &fact)
+	}
+	publishedParams := func(fn *types.Func) map[int]bool {
+		if fn == nil {
+			return nil
+		}
+		if fn.Pkg() == c.pass.Pkg {
+			return c.publishes[fn]
+		}
+		var fact PublishesFact
+		if !c.pass.ImportObjectFact(fn, &fact) {
+			return nil
+		}
+		m := make(map[int]bool, len(fact.Params))
+		for _, p := range fact.Params {
+			m[p] = true
+		}
+		return m
+	}
+
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, recv, isAtomic := atomicMethodCall(info, n); isAtomic {
+				if atomicObj(info, recv) == nil {
+					return true
+				}
+				if arg := storeValueArg(name, n); arg != nil {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						mark(id, "published by "+name)
+					}
+				}
+				return true
+			}
+			callee := lintutil.Callee(info, n)
+			for p := range publishedParams(callee) {
+				if p < len(n.Args) {
+					if id, ok := ast.Unparen(n.Args[p]).(*ast.Ident); ok {
+						mark(id, "published via "+callee.Name())
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// v := x.Load() / v := eng.Epoch()
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				verb := ""
+				if name, recv, isAtomic := atomicMethodCall(info, call); isAtomic {
+					if name == "Load" && atomicObj(info, recv) != nil {
+						verb = "observed via Load"
+					}
+				} else if fn := lintutil.Callee(info, call); isPublishedFn(fn) {
+					verb = "observed via " + fn.Name()
+				}
+				if verb == "" {
+					continue
+				}
+				var lhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					lhs = n.Lhs[i]
+				} else if len(n.Rhs) == 1 && len(n.Lhs) > 0 {
+					lhs = n.Lhs[0]
+				}
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					mark(id, verb)
+				}
+			}
+		}
+		return true
+	})
+	if len(shared) == 0 {
+		return
+	}
+
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		check := func(e ast.Expr) {
+			root := lintutil.RootIdent(e)
+			if root == nil {
+				return
+			}
+			obj := info.Uses[root]
+			if obj == nil {
+				return
+			}
+			pos, ok := shared[obj]
+			if !ok || root.Pos() <= pos {
+				return
+			}
+			if _, plain := e.(*ast.Ident); plain {
+				return // rebinding the local is fine
+			}
+			c.pass.Reportf(e.Pos(),
+				"write through %s after it was %s; concurrent readers already hold the value (atomicpub)",
+				obj.Name(), how[obj])
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(n.X)
+		}
+		return true
+	})
+}

@@ -1,0 +1,41 @@
+package atomicpub_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/atomicpub"
+	"repro/internal/lint/linttest"
+)
+
+func TestAtomicpub(t *testing.T) {
+	linttest.Run(t, "testdata", atomicpub.Analyzer, "atomicpubtest")
+}
+
+func TestCrossPackagePublication(t *testing.T) {
+	linttest.Run(t, "testdata", atomicpub.Analyzer, "atomicpubfactb")
+}
+
+// TestFactExport pins the publication facts: parameters that reach a
+// Store, and results that come from a Load.
+func TestFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", atomicpub.Analyzer, "atomicpubtest")
+
+	var pub atomicpub.PublishesFact
+	if !store.ImportObjectFactByPath("atomicpubtest", "Engine.install", &pub) {
+		t.Fatal("no PublishesFact exported for Engine.install")
+	}
+	if len(pub.Params) != 1 || pub.Params[0] != 0 {
+		t.Errorf("PublishesFact for Engine.install = %v, want [0]", pub.Params)
+	}
+	if !store.ImportObjectFactByPath("atomicpubtest", "Engine.Publish", &pub) {
+		t.Error("no PublishesFact exported for Engine.Publish")
+	}
+
+	var pd atomicpub.PublishedFact
+	if !store.ImportObjectFactByPath("atomicpubtest", "Engine.Current", &pd) {
+		t.Fatal("no PublishedFact exported for Engine.Current")
+	}
+	if store.ImportObjectFactByPath("atomicpubtest", "Engine.BadCopy", &pd) {
+		t.Error("Engine.BadCopy does not return a Load result but has PublishedFact")
+	}
+}

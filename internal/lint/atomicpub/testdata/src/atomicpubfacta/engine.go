@@ -1,0 +1,27 @@
+// Fixture dependency for atomicpub's cross-package test: analyzing
+// this package exports PublishesFact{0} on Engine.Publish and
+// PublishedFact on Engine.Current, which the importing fixture
+// consumes.
+package atomicpubfacta
+
+import "sync/atomic"
+
+// Epoch is the published value.
+type Epoch struct {
+	Seq int
+}
+
+// Engine publishes epochs through an atomic pointer.
+type Engine struct {
+	epoch atomic.Pointer[Epoch]
+}
+
+// Publish stores its parameter: callers lose mutation rights on it.
+func (e *Engine) Publish(ep *Epoch) {
+	e.epoch.Store(ep)
+}
+
+// Current returns the shared value: callers must not write through it.
+func (e *Engine) Current() *Epoch {
+	return e.epoch.Load()
+}

@@ -1,0 +1,24 @@
+// Cross-package fact flow: Publish's publishing parameter and
+// Current's published result were inferred while analyzing
+// atomicpubfacta; the violations here are caught purely from the
+// imported facts.
+package atomicpubfactb
+
+import "atomicpubfacta"
+
+func Bad(e *atomicpubfacta.Engine) {
+	ep := &atomicpubfacta.Epoch{}
+	e.Publish(ep)
+	ep.Seq = 3 // want `write through ep after it was published via Publish`
+}
+
+func Bad2(e *atomicpubfacta.Engine) {
+	ep := e.Current()
+	ep.Seq = 4 // want `write through ep after it was observed via Current`
+}
+
+func OK(e *atomicpubfacta.Engine) int {
+	ep := &atomicpubfacta.Epoch{Seq: 1}
+	e.Publish(ep)
+	return e.Current().Seq
+}

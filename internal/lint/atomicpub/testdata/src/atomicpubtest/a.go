@@ -1,0 +1,98 @@
+// Positive and negative cases for atomicpub: plain access of atomic
+// variables, publish-then-mutate, and load-then-mutate, with the
+// publication facts flowing through local helpers.
+package atomicpubtest
+
+import "sync/atomic"
+
+// Epoch is the published value.
+type Epoch struct {
+	Seq   int
+	Stats []int
+}
+
+// Engine publishes epochs through an atomic pointer.
+type Engine struct {
+	epoch atomic.Pointer[Epoch]
+	hits  atomic.Int64
+}
+
+// Proper discipline: Store to publish, Load to read.
+func (e *Engine) Publish(ep *Epoch) {
+	e.epoch.Store(ep)
+}
+
+// Current returns a Load result: it earns a PublishedFact.
+func (e *Engine) Current() *Epoch {
+	return e.epoch.Load()
+}
+
+// install forwards its parameter to Store: PublishesFact{0}.
+func (e *Engine) install(ep *Epoch) {
+	e.epoch.Store(ep)
+}
+
+// BadCopy copies the atomic value — the state tears.
+func (e *Engine) BadCopy() atomic.Int64 {
+	return e.hits // want `plain access of atomic variable hits`
+}
+
+// BadAssign replaces the atomic wholesale instead of Storing.
+func (e *Engine) BadAssign(v atomic.Int64) {
+	e.hits = v // want `plain access of atomic variable hits`
+}
+
+// BadLit initializes an atomic field by composite literal.
+func NewBadEngine() *Engine {
+	return &Engine{
+		hits: atomic.Int64{}, // want `atomic field hits initialized by composite literal`
+	}
+}
+
+// BadPublishThenMutate writes the value after Store: readers already
+// hold it.
+func (e *Engine) BadPublishThenMutate(seq int) {
+	ep := &Epoch{Seq: seq}
+	e.epoch.Store(ep)
+	ep.Seq++ // want `write through ep after it was published by Store`
+}
+
+// BadLoadThenMutate writes a value observed via Load.
+func (e *Engine) BadLoadThenMutate() {
+	ep := e.epoch.Load()
+	ep.Seq = 9 // want `write through ep after it was observed via Load`
+}
+
+// BadViaPublished writes a value observed through Current's
+// PublishedFact.
+func BadViaPublished(e *Engine) {
+	ep := e.Current()
+	ep.Stats[0] = 1 // want `write through ep after it was observed via Current`
+}
+
+// BadViaPublishes writes a value handed to install's publishing
+// parameter.
+func BadViaPublishes(e *Engine) {
+	ep := &Epoch{}
+	e.install(ep)
+	ep.Seq = 2 // want `write through ep after it was published via install`
+}
+
+// OK builds the value fully before publishing and only reads after.
+func OK(e *Engine) int {
+	ep := &Epoch{Seq: 1}
+	ep.Stats = append(ep.Stats, 7)
+	e.epoch.Store(ep)
+	cur := e.Current()
+	return cur.Seq + len(cur.Stats)
+}
+
+// Global exercises package-level atomic vars.
+var Global atomic.Int64
+
+func BumpGlobal() { Global.Add(1) }
+
+func BadGlobalCopy() int64 {
+	g := Global // want `plain access of atomic variable Global`
+	return g.Load()
+}

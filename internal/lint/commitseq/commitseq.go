@@ -1,0 +1,239 @@
+// Package commitseq defines the bgplint analyzer for the durable
+// commit protocol the persistence layer depends on: write to a temp
+// file, fsync it, then atomically os.Rename it into place — and once
+// the rename (the commit point) has happened, nothing else in the
+// function may write. A crash between an unsynced write and the rename
+// can commit a manifest whose bytes never reached disk; a write after
+// the rename reorders the commit so readers can observe a manifest
+// that names files still being written.
+//
+// Two rules, per function:
+//
+//   - rename-without-sync: an os.Rename preceded by file creation or
+//     writes but no (*os.File).Sync in between is flagged at the
+//     rename — the commit can land before its payload.
+//   - effect-after-commit: any create, write, or sync positioned after
+//     the function's last commit point is flagged — the directory
+//     entry must be the final effectful step.
+//
+// Helpers that perform the rename on the caller's behalf (directly or
+// transitively) carry a CommitStepFact, so a call to
+// persister.writeSeal counts as a commit point in its callers.
+package commitseq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "commitseq",
+	Doc: "check the temp-file write → fsync → rename commit protocol\n\n" +
+		"Within a function that commits via os.Rename (directly or through a\n" +
+		"CommitStepFact helper), the temp file must be fsynced before the rename\n" +
+		"and the rename must be the last effectful step — no creates, writes, or\n" +
+		"syncs after the commit point.",
+	Run:       run,
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*CommitStepFact)(nil)},
+}
+
+// A CommitStepFact marks a function that performs a directory-entry
+// commit (os.Rename) itself or through its callees; calls to it count
+// as commit points in the caller's sequence.
+type CommitStepFact struct{}
+
+// AFact marks CommitStepFact as a fact type.
+func (*CommitStepFact) AFact() {}
+
+func (*CommitStepFact) String() string { return "commitStep" }
+
+// opKind classifies the effectful operations the protocol orders.
+type opKind int
+
+const (
+	opCreate opKind = iota // os.Create / os.OpenFile / os.CreateTemp
+	opWrite                // os.WriteFile, (*os.File).Write/WriteString/WriteAt/ReadFrom/Truncate
+	opSync                 // (*os.File).Sync
+	opCommit               // os.Rename or a CommitStepFact call
+)
+
+var kindNoun = map[opKind]string{
+	opCreate: "file creation",
+	opWrite:  "write",
+	opSync:   "fsync",
+}
+
+type op struct {
+	pos    token.Pos
+	kind   opKind
+	direct bool // opCommit only: a literal os.Rename, not a helper call
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	graph   *callgraph.Result
+	commits map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:    pass,
+		graph:   pass.ResultOf[callgraph.Analyzer].(*callgraph.Result),
+		commits: make(map[*types.Func]bool),
+	}
+	c.inferCommitSteps()
+	for fn := range c.commits {
+		c.pass.ExportObjectFact(fn, &CommitStepFact{})
+	}
+	for _, node := range c.graph.Order {
+		if lintutil.IsTestFile(pass.Fset, node.Decl.Pos()) {
+			continue
+		}
+		c.checkSequence(node)
+	}
+	return nil, nil
+}
+
+// isCommitStep resolves commit-step-ness for any callee.
+func (c *checker) isCommitStep(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if lintutil.PkgFunc(fn, "os", "Rename") {
+		return true
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		return c.commits[fn]
+	}
+	var fact CommitStepFact
+	return c.pass.ImportObjectFact(fn, &fact)
+}
+
+// inferCommitSteps marks this package's functions that rename directly
+// or call another commit step, as a callgraph fixpoint.
+func (c *checker) inferCommitSteps() {
+	for changed := true; changed; {
+		changed = false
+		for _, node := range c.graph.Order {
+			if c.commits[node.Fn] || lintutil.IsTestFile(c.pass.Fset, node.Decl.Pos()) {
+				continue
+			}
+			for _, call := range node.Calls {
+				if c.isCommitStep(call.Callee) {
+					c.commits[node.Fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// classify maps a call expression to a protocol op, or ok=false.
+func (c *checker) classify(call *ast.CallExpr) (op, bool) {
+	info := c.pass.TypesInfo
+	fn := lintutil.Callee(info, call)
+	if fn == nil {
+		return op{}, false
+	}
+	pos := call.Pos()
+	// Package-level os functions.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+			switch fn.Name() {
+			case "Create", "OpenFile", "CreateTemp":
+				return op{pos: pos, kind: opCreate}, true
+			case "WriteFile":
+				return op{pos: pos, kind: opWrite}, true
+			case "Rename":
+				return op{pos: pos, kind: opCommit, direct: true}, true
+			}
+			return op{}, false
+		}
+		if c.isCommitStep(fn) {
+			return op{pos: pos, kind: opCommit}, true
+		}
+		return op{}, false
+	}
+	// Methods: (*os.File) effects, or commit-step helper methods.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if lintutil.IsNamedType(recv.Type(), "os", "File") {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteAt", "ReadFrom", "Truncate":
+				return op{pos: pos, kind: opWrite}, true
+			case "Sync":
+				return op{pos: pos, kind: opSync}, true
+			}
+			return op{}, false
+		}
+		if c.isCommitStep(fn) {
+			return op{pos: pos, kind: opCommit}, true
+		}
+	}
+	return op{}, false
+}
+
+// checkSequence collects the function's ops in source order and
+// applies the two protocol rules.
+func (c *checker) checkSequence(node *callgraph.Node) {
+	var ops []op
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if o, ok := c.classify(call); ok {
+			ops = append(ops, o)
+		}
+		return true
+	})
+	if len(ops) == 0 {
+		return
+	}
+
+	// Rule 1: each direct rename needs a sync between the writes it
+	// commits and itself.
+	for i, o := range ops {
+		if o.kind != opCommit || !o.direct {
+			continue
+		}
+		wrote, synced := false, false
+		for _, prev := range ops[:i] {
+			switch prev.kind {
+			case opCreate, opWrite:
+				wrote = true
+			case opSync:
+				synced = true
+			}
+		}
+		if wrote && !synced {
+			c.pass.Reportf(o.pos,
+				"os.Rename commits a file that was written without an fsync; call Sync before the rename or a crash can commit unwritten bytes (commitseq)")
+		}
+	}
+
+	// Rule 2: nothing effectful after the last commit point.
+	last := -1
+	for i, o := range ops {
+		if o.kind == opCommit {
+			last = i
+		}
+	}
+	if last < 0 {
+		return
+	}
+	for _, o := range ops[last+1:] {
+		if o.kind == opCommit {
+			continue
+		}
+		c.pass.Reportf(o.pos,
+			"%s after the commit point; the rename must be the last effectful step so a crash never half-commits (commitseq)",
+			kindNoun[o.kind])
+	}
+}

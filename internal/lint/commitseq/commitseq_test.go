@@ -1,0 +1,35 @@
+package commitseq_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/commitseq"
+	"repro/internal/lint/linttest"
+)
+
+func TestCommitseq(t *testing.T) {
+	linttest.Run(t, "testdata", commitseq.Analyzer, "commitseqtest")
+}
+
+func TestCrossPackageCommitStep(t *testing.T) {
+	linttest.Run(t, "testdata", commitseq.Analyzer, "commitseqfactb")
+}
+
+// TestFactExport pins the commit-step fact: helpers that rename
+// (directly or transitively) carry it, pure writers do not.
+func TestFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", commitseq.Analyzer, "commitseqtest")
+
+	var cs commitseq.CommitStepFact
+	if !store.ImportObjectFactByPath("commitseqtest", "commitHelper", &cs) {
+		t.Fatal("no CommitStepFact exported for commitseqtest.commitHelper")
+	}
+	for _, path := range []string{"GoodCommit", "BadViaHelper"} {
+		if !store.ImportObjectFactByPath("commitseqtest", path, &cs) {
+			t.Errorf("no CommitStepFact exported for commitseqtest.%s (commits transitively)", path)
+		}
+	}
+	if store.ImportObjectFactByPath("commitseqtest", "OKNoCommit", &cs) {
+		t.Error("commitseqtest.OKNoCommit never renames but has CommitStepFact")
+	}
+}

@@ -1,0 +1,11 @@
+// Fixture dependency for commitseq's cross-package test: analyzing
+// this package exports CommitStepFact on Commit, which the importing
+// fixture consumes.
+package commitseqfacta
+
+import "os"
+
+// Commit performs the directory-entry commit for its callers.
+func Commit(tmp, final string) error {
+	return os.Rename(tmp, final)
+}

@@ -1,0 +1,26 @@
+// Cross-package fact flow: Commit's commit-step-ness was inferred
+// while analyzing commitseqfacta; the write after it is flagged purely
+// from the imported CommitStepFact.
+package commitseqfactb
+
+import (
+	"commitseqfacta"
+	"os"
+)
+
+func Bad(data []byte) error {
+	if err := os.WriteFile("x.tmp", data, 0); err != nil {
+		return err
+	}
+	if err := commitseqfacta.Commit("x.tmp", "x"); err != nil {
+		return err
+	}
+	return os.WriteFile("x.log", data, 0) // want `write after the commit point`
+}
+
+func OK(data []byte) error {
+	if err := os.WriteFile("x.tmp", data, 0); err != nil {
+		return err
+	}
+	return commitseqfacta.Commit("x.tmp", "x")
+}

@@ -1,0 +1,104 @@
+// Positive and negative cases for commitseq: rename-without-sync,
+// effect-after-commit, and commit-step helpers.
+package commitseqtest
+
+import "os"
+
+// GoodCommit is the blessed sequence: create, write, sync, close,
+// rename last.
+func GoodCommit(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// BadNoSync commits bytes that may still sit in the page cache.
+func BadNoSync(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Close()
+	return os.Rename(tmp, final) // want `os.Rename commits a file that was written without an fsync`
+}
+
+// BadWriteAfter writes after the commit point.
+func BadWriteAfter(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Sync()
+	f.Close()
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return os.WriteFile(final+".meta", data, 0) // want `write after the commit point`
+}
+
+// BadCreateAfter opens a new file after committing.
+func BadCreateAfter(tmp, final string, data []byte) error {
+	os.WriteFile(tmp, data, 0)
+	f, _ := os.Create(tmp)
+	f.Write(data)
+	f.Sync()
+	f.Close()
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	f2, err := os.Create(tmp + ".next") // want `file creation after the commit point`
+	if err != nil {
+		return err
+	}
+	return f2.Close()
+}
+
+// commitHelper renames on the caller's behalf: CommitStepFact.
+func commitHelper(tmp, final string) error {
+	return os.Rename(tmp, final)
+}
+
+// BadViaHelper: the helper call is the commit point; the write after
+// it is flagged even though no os.Rename appears here.
+func BadViaHelper(tmp, final string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0); err != nil {
+		return err
+	}
+	if err := commitHelper(tmp, final); err != nil {
+		return err
+	}
+	return os.WriteFile(tmp+".log", data, 0) // want `write after the commit point`
+}
+
+// OKViaHelper commits last through the helper.
+func OKViaHelper(tmp, final string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0); err != nil {
+		return err
+	}
+	return commitHelper(tmp, final)
+}
+
+// OKNoCommit never renames: writes in any order are fine.
+func OKNoCommit(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0); err != nil {
+		return err
+	}
+	return os.WriteFile(path+".2", data, 0)
+}

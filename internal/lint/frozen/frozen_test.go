@@ -1,0 +1,41 @@
+package frozen_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/frozen"
+	"repro/internal/lint/linttest"
+)
+
+func TestFrozen(t *testing.T) {
+	linttest.Run(t, "testdata", frozen.Analyzer, "frozentest")
+}
+
+func TestCrossPackageFreeze(t *testing.T) {
+	linttest.Run(t, "testdata", frozen.Analyzer, "frozenfactb")
+}
+
+// TestFactExport pins the fact shapes: freezers carry
+// ImmutableAfterFact, receiver-mutators carry MutatesFact with the
+// fields they touch.
+func TestFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", frozen.Analyzer, "frozentest")
+
+	var imm frozen.ImmutableAfterFact
+	for _, path := range []string{"Table.Freeze", "Table.Sealed", "Table.Snapshot", "Set.Seal"} {
+		if !store.ImportObjectFactByPath("frozentest", path, &imm) {
+			t.Errorf("no ImmutableAfterFact exported for frozentest.%s", path)
+		}
+	}
+	if store.ImportObjectFactByPath("frozentest", "Seg.Len", &imm) {
+		t.Error("Seg.Len is not a freezer but has ImmutableAfterFact")
+	}
+
+	var mut frozen.MutatesFact
+	if !store.ImportObjectFactByPath("frozentest", "Seg.Append", &mut) {
+		t.Fatal("no MutatesFact exported for frozentest.Seg.Append")
+	}
+	if len(mut.Fields) != 1 || mut.Fields[0] != "rows" {
+		t.Errorf("MutatesFact for Seg.Append = %v, want [rows]", mut.Fields)
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture dependency for frozen's cross-package test: analyzing this
+// package exports ImmutableAfterFact on Table.Freeze and MutatesFact
+// on Snap.Add, which the importing fixture consumes.
+package frozenfacta
+
+// Table freezes into Snap.
+type Table struct {
+	names []string
+}
+
+// Snap is the frozen form; Add mutates it.
+type Snap struct {
+	Names []string
+}
+
+// Freeze copies, so the freezer body is clean — but its result carries
+// the immutable-after contract to every importing package.
+func (t *Table) Freeze() *Snap {
+	return &Snap{Names: append([]string(nil), t.names...)}
+}
+
+// Add mutates the receiver: MutatesFact{Names}.
+func (s *Snap) Add(name string) {
+	s.Names = append(s.Names, name)
+}

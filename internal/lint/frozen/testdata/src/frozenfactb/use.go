@@ -1,0 +1,17 @@
+// Cross-package fact flow: Freeze's freezer-ness and Add's
+// receiver-mutation were inferred while analyzing frozenfacta; the
+// violations here are caught purely from the imported facts.
+package frozenfactb
+
+import "frozenfacta"
+
+func Bad(t *frozenfacta.Table) {
+	s := t.Freeze()
+	s.Add("x")       // want `call of mutating method Add on frozen value of s, frozen by Freeze`
+	s.Names[0] = "y" // want `write through frozen value of s, frozen by Freeze`
+}
+
+func OK(t *frozenfacta.Table) int {
+	s := t.Freeze()
+	return len(s.Names)
+}

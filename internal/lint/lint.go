@@ -1,29 +1,38 @@
-// Package lint is the registry of bgplint's determinism and
-// parallel-safety analyzers. cmd/bgplint runs them all; see each
-// analyzer package for the invariant it encodes and DESIGN.md
-// ("Determinism invariants") for why the invariants exist.
+// Package lint is the registry of bgplint's determinism,
+// parallel-safety, and concurrency-invariant analyzers. cmd/bgplint
+// runs them all; see each analyzer package for the invariant it
+// encodes and DESIGN.md ("Determinism invariants", "Concurrency
+// invariants") for why the invariants exist.
 package lint
 
 import (
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomicpub"
 	"repro/internal/lint/callgraph"
+	"repro/internal/lint/commitseq"
 	"repro/internal/lint/detrand"
 	"repro/internal/lint/errcode"
+	"repro/internal/lint/frozen"
 	"repro/internal/lint/idkind"
+	"repro/internal/lint/lockguard"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/seedtaint"
 	"repro/internal/lint/sharedfold"
 )
 
 // Analyzers returns the full bgplint suite, in stable order.
-// callgraph is a fact-only pass (it never reports) that seedtaint and
-// errcode consume for interprocedural propagation.
+// callgraph is a fact-only pass (it never reports) that the
+// interprocedural analyzers consume for propagation.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicpub.Analyzer,
 		callgraph.Analyzer,
+		commitseq.Analyzer,
 		detrand.Analyzer,
 		errcode.Analyzer,
+		frozen.Analyzer,
 		idkind.Analyzer,
+		lockguard.Analyzer,
 		maporder.Analyzer,
 		seedtaint.Analyzer,
 		sharedfold.Analyzer,
@@ -41,7 +50,11 @@ func Severity(analyzer string) string {
 		maporder.Analyzer.Name,
 		sharedfold.Analyzer.Name,
 		seedtaint.Analyzer.Name,
-		errcode.Analyzer.Name:
+		errcode.Analyzer.Name,
+		lockguard.Analyzer.Name,
+		frozen.Analyzer.Name,
+		atomicpub.Analyzer.Name,
+		commitseq.Analyzer.Name:
 		return "error"
 	case idkind.Analyzer.Name:
 		return "warning"

@@ -74,6 +74,65 @@ func UsesObject(info *types.Info, n ast.Node, obj types.Object) bool {
 	return found
 }
 
+// RootIdent unwraps selector, index, slice, star, and paren wrappers
+// and returns the base identifier an access chain is rooted at
+// (e.tab.Errcodes → e, segs[0].Events → segs), or nil when the chain
+// bottoms out in something else (a call result, a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// IsNamedType reports whether t (after stripping one level of pointer)
+// is the named type pkgPath.name for any of the given names.
+func IsNamedType(t types.Type, pkgPath string, names ...string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if named.Obj().Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// WalkStack walks root depth-first, calling fn for every node with the
+// path of its ancestors (outermost first, excluding the node itself).
+// The stack slice is reused between calls; callers must not retain it.
+func WalkStack(root ast.Node, fn func(stack []ast.Node, n ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(stack, n)
+		stack = append(stack, n)
+		return true
+	})
+}
+
 // RangedMap reports whether rs ranges over a value of map type, and if
 // so returns that map type.
 func RangedMap(info *types.Info, rs *ast.RangeStmt) (*types.Map, bool) {

@@ -1,0 +1,43 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	linttest.Run(t, "testdata", lockguard.Analyzer, "lockguardtest")
+}
+
+func TestCrossPackageGuards(t *testing.T) {
+	linttest.Run(t, "testdata", lockguard.Analyzer, "lockguardfactb")
+}
+
+func TestSuggestedFix(t *testing.T) {
+	linttest.RunWithSuggestedFixes(t, "testdata", lockguard.Analyzer, "lockguardfix")
+}
+
+// TestFactExport pins the two fact shapes: the guard relation on the
+// struct type, and the held-context verdict on the helper method.
+func TestFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", lockguard.Analyzer, "lockguardtest")
+
+	var g lockguard.GuardedFieldsFact
+	if !store.ImportObjectFactByPath("lockguardtest", "Counter", &g) {
+		t.Fatal("no GuardedFieldsFact exported for lockguardtest.Counter")
+	}
+	if len(g.Guards) != 1 || g.Guards[0].Field != "n" ||
+		len(g.Guards[0].Mutexes) != 1 || g.Guards[0].Mutexes[0] != "mu" {
+		t.Errorf("GuardedFieldsFact for Counter = %v, want n guarded by mu only", g.Guards)
+	}
+
+	var h lockguard.HoldsFact
+	if !store.ImportObjectFactByPath("lockguardtest", "Counter.bump", &h) {
+		t.Fatal("no HoldsFact exported for Counter.bump")
+	}
+	if len(h.Mutexes) != 1 || h.Mutexes[0] != "mu" {
+		t.Errorf("HoldsFact for Counter.bump = %v, want [mu]", h.Mutexes)
+	}
+}

@@ -1,0 +1,19 @@
+// Fixture dependency for lockguard's cross-package test: analyzing
+// this package exports a GuardedFieldsFact{Val: [Mu]} on Box that the
+// importing fixture consumes.
+package lockguardfacta
+
+import "sync"
+
+// Box exposes a guarded field across the package boundary.
+type Box struct {
+	Mu  sync.Mutex
+	Val int
+}
+
+// Set establishes Mu as Val's guard.
+func (b *Box) Set(v int) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.Val = v
+}

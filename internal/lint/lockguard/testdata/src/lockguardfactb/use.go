@@ -1,0 +1,16 @@
+// Cross-package fact flow: Box.Val's guard was inferred while
+// analyzing lockguardfacta; accessing it here without Box.Mu is
+// flagged purely from the imported GuardedFieldsFact.
+package lockguardfactb
+
+import "lockguardfacta"
+
+func Read(b *lockguardfacta.Box) int {
+	return b.Val // want `read of Box.Val without holding Box.Mu`
+}
+
+func ReadLocked(b *lockguardfacta.Box) int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.Val
+}

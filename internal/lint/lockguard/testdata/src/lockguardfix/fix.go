@@ -1,0 +1,20 @@
+// Fixture for lockguard's suggested fix: applying every fix must yield
+// fix.go.golden (modulo gofmt).
+package lockguardfix
+
+import "sync"
+
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}
+
+func (g *Gauge) Bad() int {
+	return g.v // want `read of Gauge.v without holding Gauge.mu`
+}

@@ -1,0 +1,81 @@
+// Positive and negative cases for lockguard: guard inference from
+// locked writes, position-based lock regions, held-context helper
+// methods, constructor exemption, and unguarded fields.
+package lockguardtest
+
+import "sync"
+
+// Counter.n is guarded by mu (written under it in Inc and bump);
+// Counter.free is never written under the lock, so it has no guard.
+type Counter struct {
+	mu   sync.Mutex
+	n    int
+	free int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want `read of Counter.n without holding Counter.mu`
+}
+
+func (c *Counter) BadWrite() {
+	c.n = 0 // want `write of Counter.n without holding Counter.mu`
+}
+
+// Free is unguarded: reading it without the lock is fine.
+func (c *Counter) Free() int { return c.free }
+
+// Region uses an explicit Lock/Unlock pair: the read in between is
+// held, the one after is not.
+func (c *Counter) Region() (int, int) {
+	c.mu.Lock()
+	held := c.n
+	c.mu.Unlock()
+	late := c.n // want `read of Counter.n without holding Counter.mu`
+	return held, late
+}
+
+// bump is a held-context helper: its only call site (Do) holds mu, so
+// its own access is analyzed under the lock and it earns a HoldsFact.
+func (c *Counter) bump() { c.n++ }
+
+func (c *Counter) Do() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+// NewCounter touches n on a constructor-fresh value: exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 7
+	return c
+}
+
+// RW exercises RWMutex and index-chain writes: m is guarded because
+// Set writes it under the write lock; RLock regions count as held.
+type RW struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (r *RW) Set(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+}
+
+func (r *RW) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *RW) BadGet(k string) int {
+	return r.m[k] // want `read of RW.m without holding RW.mu`
+}

@@ -1,0 +1,18 @@
+// Stub of the standard sync package for the lockguard fixtures: the
+// analyzer matches mutex types by package path and name only, so these
+// empty shells keep fixture type-checking hermetic and fast.
+package sync
+
+// Mutex is a stub of sync.Mutex.
+type Mutex struct{}
+
+func (*Mutex) Lock()   {}
+func (*Mutex) Unlock() {}
+
+// RWMutex is a stub of sync.RWMutex.
+type RWMutex struct{}
+
+func (*RWMutex) Lock()    {}
+func (*RWMutex) Unlock()  {}
+func (*RWMutex) RLock()   {}
+func (*RWMutex) RUnlock() {}

@@ -89,6 +89,20 @@ func (ss *SegmentSet) Append(recID, timeNS int64, code symtab.ErrcodeID, loc sym
 	return nil
 }
 
+// clip caps every column at its current length (cap == len) so a
+// sealed segment can never grow through an aliased slice: an append
+// through any retained reference is forced to reallocate instead of
+// writing into the shared backing arrays.
+func (s *Segment) clip() {
+	e := &s.Events
+	e.RecID = e.RecID[:len(e.RecID):len(e.RecID)]
+	e.Time = e.Time[:len(e.Time):len(e.Time)]
+	e.Code = e.Code[:len(e.Code):len(e.Code)]
+	e.Loc = e.Loc[:len(e.Loc):len(e.Loc)]
+	e.Comp = e.Comp[:len(e.Comp):len(e.Comp)]
+	e.Sev = e.Sev[:len(e.Sev):len(e.Sev)]
+}
+
 // Seal closes the active segment (if any) and returns it; subsequent
 // appends open a new segment.
 func (ss *SegmentSet) Seal() *Segment {
@@ -97,6 +111,7 @@ func (ss *SegmentSet) Seal() *Segment {
 		return nil
 	}
 	s.sealed = true
+	s.clip()
 	ss.sealed = append(ss.sealed, s)
 	ss.active = nil
 	return s
@@ -121,13 +136,17 @@ func (ss *SegmentSet) SealEmpty() *Segment {
 // Segments must be restored in Seq order before any Append.
 func (ss *SegmentSet) Restore(s *Segment) {
 	s.sealed = true
+	s.clip()
 	s.Seq = len(ss.sealed)
 	ss.sealed = append(ss.sealed, s)
 }
 
-// Sealed returns the sealed segments in Seq order (shared slice;
-// callers must not mutate).
-func (ss *SegmentSet) Sealed() []*Segment { return ss.sealed }
+// Sealed returns the sealed segments in Seq order. The slice is
+// clipped (cap == len) so a caller's append reallocates instead of
+// racing the writer's next Seal.
+func (ss *SegmentSet) Sealed() []*Segment {
+	return ss.sealed[:len(ss.sealed):len(ss.sealed)]
+}
 
 // Rows returns the total row count across sealed and active segments.
 func (ss *SegmentSet) Rows() int {

@@ -69,6 +69,109 @@ func TestSegmentSetSealAndSnapshot(t *testing.T) {
 	}
 }
 
+// mustPanicAppend asserts the sealed-append contract: AppendRow on a
+// sealed segment is a programmer error and must panic, whichever path
+// sealed the segment.
+func mustPanicAppend(t *testing.T, how string, seg *Segment) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("AppendRow on a segment sealed via %s did not panic", how)
+		}
+	}()
+	seg.AppendRow(99, 9900, 0, 0, 1, 2)
+}
+
+// checkClipped asserts every column of a sealed segment has cap == len,
+// so an append through any retained alias reallocates instead of
+// writing into the shared backing arrays.
+func checkClipped(t *testing.T, how string, seg *Segment) {
+	t.Helper()
+	e := &seg.Events
+	cols := []struct {
+		name string
+		len  int
+		cap  int
+	}{
+		{"RecID", len(e.RecID), cap(e.RecID)},
+		{"Time", len(e.Time), cap(e.Time)},
+		{"Code", len(e.Code), cap(e.Code)},
+		{"Loc", len(e.Loc), cap(e.Loc)},
+		{"Comp", len(e.Comp), cap(e.Comp)},
+		{"Sev", len(e.Sev), cap(e.Sev)},
+	}
+	for _, c := range cols {
+		if c.cap != c.len {
+			t.Errorf("segment sealed via %s: column %s cap = %d, len = %d; sealed columns must be clipped",
+				how, c.name, c.cap, c.len)
+		}
+	}
+}
+
+// TestSealedSegmentImmutable pins the two halves of the seal contract
+// on every sealing path — Seal, Restore, and SealEmpty: appends panic,
+// and the row columns are handed out capacity-clipped so no caller can
+// grow them in place.
+func TestSealedSegmentImmutable(t *testing.T) {
+	// Path 1: organic seal after appends.
+	ss := &SegmentSet{SealRows: 100}
+	for i := 0; i < 3; i++ {
+		ss.Append(int64(i+1), int64(i)*100, 0, 0, 1, 2)
+	}
+	sealed := ss.Seal()
+	if sealed == nil || !sealed.Sealed() {
+		t.Fatal("Seal did not return a sealed segment")
+	}
+	mustPanicAppend(t, "Seal", sealed)
+	checkClipped(t, "Seal", sealed)
+
+	// Path 2: recovery. The segment is rebuilt row-by-row with spare
+	// capacity (exactly what append growth produces), then re-attached;
+	// Restore must clip it and lock out further appends.
+	seg := &Segment{}
+	for i := 0; i < 3; i++ {
+		seg.AppendRow(int64(i+1), int64(i)*100, 0, 0, 1, 2)
+	}
+	if cap(seg.Events.RecID) == len(seg.Events.RecID) {
+		// Force the interesting precondition if append growth happened
+		// to land exactly on len.
+		seg.Events.RecID = append(make([]int64, 0, 8), seg.Events.RecID...)
+	}
+	var rs SegmentSet
+	rs.Restore(seg)
+	if !seg.Sealed() {
+		t.Fatal("Restore did not seal the segment")
+	}
+	mustPanicAppend(t, "Restore", seg)
+	checkClipped(t, "Restore", seg)
+
+	// Path 3: the empty checkpoint segment.
+	var es SegmentSet
+	empty := es.SealEmpty()
+	if empty == nil || !empty.Sealed() || empty.Events.Len() != 0 {
+		t.Fatalf("SealEmpty = %+v, want sealed empty segment", empty)
+	}
+	mustPanicAppend(t, "SealEmpty", empty)
+	checkClipped(t, "SealEmpty", empty)
+
+	// The Sealed() view itself is clipped too: appending a segment to it
+	// must not race the writer's next Seal.
+	view := rs.Sealed()
+	if cap(view) != len(view) {
+		t.Fatalf("Sealed() slice cap = %d, len = %d; the view must be capacity-clipped", cap(view), len(view))
+	}
+	before := len(rs.sealed)
+	_ = append(view, &Segment{})
+	rs.SealRows = 1
+	rs.Append(50, 5000, 0, 0, 1, 2)
+	if len(rs.sealed) != before+1 {
+		t.Fatalf("writer's sealed list has %d segments, want %d", len(rs.sealed), before+1)
+	}
+	if rs.sealed[before].Seq != before {
+		t.Fatalf("appended-through-view segment clobbered the writer's slot: got seq %d", rs.sealed[before].Seq)
+	}
+}
+
 func TestSegmentSetRestore(t *testing.T) {
 	var ss SegmentSet
 	seg := &Segment{MinTime: 5, MaxTime: 9}

@@ -51,7 +51,7 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== bgplint (determinism & domain analyzers; baseline-gated, SARIF artifact)"
+echo "== bgplint (determinism, domain & concurrency analyzers; baseline-gated, SARIF artifact)"
 go build -o bin/bgplint ./cmd/bgplint
 ./bin/bgplint -baseline lint.baseline.json -sarif bgplint.sarif ./... ./cmd/... ./examples/...
 
@@ -73,8 +73,12 @@ fi
 echo "== go test"
 go test ./...
 
-echo "== go test -race"
-go test -race ./...
+# The serve hammer tests only exercise real interleavings with enough
+# parallelism; force at least four Ps even on small CI runners.
+NP=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)
+if [ "$NP" -lt 4 ]; then NP=4; fi
+echo "== go test -race (GOMAXPROCS=$NP)"
+GOMAXPROCS=$NP go test -race ./...
 
 echo "== bgpd smoke (end-to-end daemon golden diff)"
 ./scripts/smoke_bgpd.sh
@@ -89,5 +93,8 @@ go test -race ./internal/symtab -fuzz FuzzSymtab -fuzztime "$FUZZTIME"
 # Ingest-endpoint fuzz: malformed POST bodies must never panic the
 # daemon or leave a partially applied batch behind.
 go test ./internal/serve -fuzz FuzzIngestBatch -fuzztime "$FUZZTIME"
+# Durability-boundary fuzz: seal → persist → recover must reproduce the
+# sealed state exactly, and restored segments must reject appends.
+go test ./internal/serve -fuzz FuzzSegmentSealRestore -fuzztime "$FUZZTIME"
 
 echo "CI OK"
