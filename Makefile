@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint lint-baseline check smoke smoke-golden fuzz bench bench-baseline golden
+.PHONY: all build vet test race lint lint-baseline check smoke smoke-golden fuzz bench bench-baseline escape escape-baseline golden
 
 all: check
 
@@ -27,10 +27,12 @@ RACE_PROCS = $(shell np=$$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4); if 
 race:
 	GOMAXPROCS=$(RACE_PROCS) $(GO) test -race ./...
 
-# Determinism, domain & concurrency analyzers (atomicpub, callgraph,
-# commitseq, detrand, errcode, frozen, idkind, lockguard, maporder,
-# seedtaint, sharedfold), gated against the committed baseline: only
-# NEW findings fail (exit 1; exit 2 = tool failure).
+# Determinism, domain, concurrency & hot-path analyzers (atomicpub,
+# callgraph, commitseq, detrand, errcode, frozen, hotpath, idkind,
+# latebind, lockguard, maporder, seedtaint, sharedfold), gated against
+# the committed baseline: only NEW failing findings fail (exit 1;
+# exit 2 = tool failure). Warn-tier findings (hotpath, latebind,
+# idkind) print without failing; add -strict to gate them too.
 # Also runnable through the vet driver, which additionally covers
 # _test.go files: go vet -vettool=$(PWD)/bin/bgplint ./...
 LINT_PKGS = ./... ./cmd/... ./examples/...
@@ -72,8 +74,12 @@ fuzz:
 	$(GO) test ./internal/serve -fuzz FuzzIngestBatch -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -fuzz FuzzSegmentSealRestore -fuzztime $(FUZZTIME)
 
+# The bgpbench-gated package set; a ci.sh drift check keeps this list
+# aligned with cmd/bgpbench's benchPackages so `make bench` exercises
+# exactly what CI gates.
+BENCH_PKGS = ./internal/raslog ./internal/joblog ./internal/filter ./internal/serve .
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -run '^$$' $(BENCH_PKGS)
 
 # Regenerate the committed benchmark baseline the CI `bench` job gates
 # against (fixed -benchtime/-count so reports stay diffable). Like
@@ -81,6 +87,20 @@ bench:
 # baseline is a perf regression being waved through.
 bench-baseline:
 	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR6.json
+
+# Compiler escape-analysis budget gate: rebuild the hot packages with
+# -gcflags=-json and fail on new heap-escape sites, lost inlining, or
+# any escape inside the per-event ingest codec roots (see cmd/bgpescape
+# and DESIGN.md "Hot-path invariants").
+escape:
+	$(GO) build -o bin/bgpescape ./cmd/bgpescape
+	./bin/bgpescape run -out escape-current.json
+	./bin/bgpescape compare -baseline escape.baseline.json -current escape-current.json
+
+# Regenerate the committed escape baseline after an intentional
+# allocation change; review the escape.baseline.json diff like code.
+escape-baseline:
+	$(GO) run ./cmd/bgpescape run -out escape.baseline.json
 
 # Regenerate the golden report after an intentional output change.
 golden:

@@ -1,0 +1,306 @@
+// Command bgpescape is the compiler-escape-analysis budget gate behind
+// CI: it rebuilds the hot packages with the gc compiler's JSON
+// diagnostics enabled (-gcflags=-json=0,DIR), parses the escape and
+// inlining verdicts into a machine-readable report (schema
+// repro/bgpescape/v1, see escape.baseline.json at the repo root), and
+// compares a fresh report against the committed baseline.
+//
+// Usage:
+//
+//	bgpescape run -out escape.baseline.json       # collect a report
+//	bgpescape run -C /path/to/module -pkgs ./...  # other module/packages
+//	bgpescape compare -baseline escape.baseline.json -current esc.json
+//
+// Exit codes: 0 pass (or comparison skipped on toolchain mismatch),
+// 1 budget violation, 2 harness failure.
+//
+// The gate has three rules:
+//
+//  1. New heap escapes: an (file, function, message) escape site whose
+//     multiset count exceeds the baseline's fails. Reports are
+//     line-free, so unrelated edits never churn the baseline.
+//  2. Lost inlining: a function the baseline records as inlinable that
+//     the current compiler can no longer inline fails — inlining is
+//     what lets the escape analyzer stack-allocate across the small
+//     helpers of the hot paths.
+//  3. Zero-escape ingest codec: the per-event ingest roots declared in
+//     internal/lint/hotpath (raslog/joblog unmarshalers, appenders and
+//     readers) must have no escape sites at all, baseline or not. PR 4
+//     made ingest zero-alloc; this is that result, pinned.
+//
+// When the current toolchain differs from the baseline's (Go minor,
+// GOOS or GOARCH), rules 1-2 are skipped with a warning — escape
+// verdicts move between compiler minors — but rule 3 still runs: it is
+// a claim about the current compiler's output, not a diff.
+//
+// Each run builds into a fresh scratch directory. The diagnostics
+// directory is part of the compiler's cache key, so a fresh directory
+// forces the gated packages (only) to recompile and re-emit their
+// verdicts; reusing one would silently yield empty output on cache
+// hits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/hotpath"
+)
+
+// escapePackages is the gated hot set: every package that declares a
+// hotpath root (see internal/lint/hotpath's rootList; the main_test
+// asserts the two stay aligned).
+var escapePackages = []string{
+	"./internal/core",
+	"./internal/filter",
+	"./internal/joblog",
+	"./internal/raslog",
+	"./internal/serve",
+	"./internal/store",
+	"./internal/symtab",
+}
+
+// codecPackages are the ingest codec packages whose per-event roots
+// carry the zero-escape hard assertion (rule 3). The cascade's
+// per-event roots are excluded deliberately: inlined interner
+// initialization (filter.Incremental.Feed) and cold reject-path error
+// values (store.Segment.AppendRow) escape by design and are governed
+// by the baseline diff instead.
+var codecPackages = map[string]bool{"raslog": true, "joblog": true}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "bgpescape: want subcommand: run | compare")
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "bgpescape: unknown subcommand %q (want run | compare)\n", args[0])
+		return 2
+	}
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bgpescape run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out   = fs.String("out", "", "write the JSON report here (default stdout)")
+		chdir = fs.String("C", "", "run go build from this directory (default: current)")
+		pkgs  = fs.String("pkgs", "", "comma-separated packages to gate (default: the hot set)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	list := escapePackages
+	if *pkgs != "" {
+		list = strings.Split(*pkgs, ",")
+	}
+	rep, buildOut, err := collect(*chdir, list)
+	if err != nil {
+		fmt.Fprintf(stderr, "bgpescape: %v\n", err)
+		if len(buildOut) > 0 {
+			stderr.Write(buildOut)
+		}
+		return 2
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "bgpescape: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := writeReport(w, rep); err != nil {
+		fmt.Fprintf(stderr, "bgpescape: %v\n", err)
+		return 2
+	}
+	nEsc, nFns := 0, 0
+	for _, p := range rep.Packages {
+		for _, e := range p.Escapes {
+			nEsc += e.Count
+		}
+		nFns += len(p.Inlinable) + len(p.NotInlinable)
+	}
+	fmt.Fprintf(stderr, "bgpescape: %d packages, %d escape sites, %d functions with inline verdicts\n",
+		len(rep.Packages), nEsc, nFns)
+	return 0
+}
+
+// collect rebuilds the packages with JSON diagnostics into a fresh
+// scratch directory and parses the result. The raw go build output is
+// returned for diagnostics when the build fails.
+func collect(dir string, pkgs []string) (*Report, []byte, error) {
+	tmp, err := os.MkdirTemp("", "bgpescape-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(tmp)
+	// -gcflags with no pattern applies only to the packages named on
+	// the command line — dependencies build normally and stay cached.
+	goArgs := append([]string{"build", "-gcflags=-json=0," + tmp}, pkgs...)
+	cmd := exec.Command("go", goArgs...)
+	cmd.Dir = dir
+	if buildOut, err := cmd.CombinedOutput(); err != nil {
+		return nil, buildOut, fmt.Errorf("go build: %w", err)
+	}
+	root := dir
+	if root == "" {
+		root = "."
+	}
+	if abs, err := filepath.Abs(root); err == nil {
+		root = abs
+	}
+	packages, err := parseDiagDir(tmp, root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(packages) == 0 {
+		return nil, nil, fmt.Errorf("no diagnostics emitted (packages already built with identical flags?)")
+	}
+	return &Report{Schema: SchemaV1, GeneratedWith: currentHost(), Packages: packages}, nil, nil
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bgpescape compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		basePath = fs.String("baseline", "escape.baseline.json", "committed baseline report")
+		curPath  = fs.String("current", "", "fresh report to gate (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *curPath == "" {
+		fmt.Fprintln(stderr, "bgpescape compare: -current is required")
+		return 2
+	}
+	baseline, err := readReportFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "bgpescape: baseline: %v\n", err)
+		return 2
+	}
+	current, err := readReportFile(*curPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "bgpescape: current: %v\n", err)
+		return 2
+	}
+
+	// Rule 3 first: it gates the current report alone, so a toolchain
+	// mismatch never hides a codec-path escape.
+	failures := codecEscapes(current)
+
+	if ok, why := baseline.GeneratedWith.Comparable(current.GeneratedWith); !ok {
+		fmt.Fprintf(stdout, "bgpescape: SKIP baseline comparison: toolchain differs (%s); escape verdicts move between compiler minors\n", why)
+		fmt.Fprintf(stdout, "bgpescape: regenerate the baseline with `make escape-baseline` to enable gating\n")
+	} else {
+		failures = append(failures, diffReports(baseline, current)...)
+	}
+
+	if len(failures) == 0 {
+		fmt.Fprintf(stdout, "bgpescape: OK — no new escapes, no lost inlining, ingest codec roots escape-free\n")
+		return 0
+	}
+	fmt.Fprintf(stdout, "bgpescape: %d budget violation(s) vs %s:\n", len(failures), *basePath)
+	for _, f := range failures {
+		fmt.Fprintf(stdout, "  FAIL %s\n", f)
+	}
+	fmt.Fprintf(stdout, "bgpescape: if intentional, regenerate with `make escape-baseline` and review the diff like code\n")
+	return 1
+}
+
+// codecEscapes enforces rule 3: the per-event hotpath roots of the
+// ingest codec packages must have zero escape sites.
+func codecEscapes(rep *Report) []string {
+	// Root syms are "pkgname.Recv.Name"; index the per-event ones of
+	// the codec packages by (pkgname, Recv.Name).
+	protected := make(map[string]bool)
+	for _, r := range hotpath.Roots() {
+		pkg, fn, ok := strings.Cut(r.Sym, ".")
+		if ok && r.Kind == hotpath.PerEvent && codecPackages[pkg] {
+			protected[pkg+"."+fn] = true
+		}
+	}
+	var failures []string
+	for _, p := range rep.Packages {
+		base := p.ImportPath[strings.LastIndex(p.ImportPath, "/")+1:]
+		if !codecPackages[base] {
+			continue
+		}
+		for _, e := range p.Escapes {
+			if protected[base+"."+e.Func] {
+				failures = append(failures, fmt.Sprintf("%s: per-event codec root %s escapes: %s (%s)",
+					p.ImportPath, e.Func, e.Message, e.File))
+			}
+		}
+	}
+	return failures
+}
+
+// diffReports enforces rules 1 and 2: no escape multiset growth, no
+// inlinable function turning non-inlinable.
+func diffReports(baseline, current *Report) []string {
+	basePkgs := make(map[string]*Package, len(baseline.Packages))
+	for i := range baseline.Packages {
+		basePkgs[baseline.Packages[i].ImportPath] = &baseline.Packages[i]
+	}
+	var failures []string
+	for i := range current.Packages {
+		cur := &current.Packages[i]
+		base, known := basePkgs[cur.ImportPath]
+		if !known {
+			base = &Package{} // new package: every site is new
+		}
+		baseCounts := make(map[string]int, len(base.Escapes))
+		for _, e := range base.Escapes {
+			baseCounts[e.key()] = e.Count
+		}
+		for _, e := range cur.Escapes {
+			if grew := e.Count - baseCounts[e.key()]; grew > 0 {
+				failures = append(failures, fmt.Sprintf("%s: new heap escape ×%d in %s: %s (%s)",
+					cur.ImportPath, grew, e.Func, e.Message, e.File))
+			}
+		}
+		stillInlinable := toSet(cur.Inlinable)
+		wasInlinable := toSet(base.Inlinable)
+		for _, fn := range cur.NotInlinable {
+			if wasInlinable[fn] && !stillInlinable[fn] {
+				failures = append(failures, fmt.Sprintf("%s: %s lost inlining (was inlinable in the baseline)",
+					cur.ImportPath, fn))
+			}
+		}
+	}
+	return failures
+}
+
+func toSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func readReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readReport(f)
+}

@@ -1,8 +1,9 @@
 // Command bgplint is the multichecker for this repo's determinism,
-// parallel-safety, and concurrency invariants: the atomicpub,
-// callgraph, commitseq, detrand, errcode, frozen, idkind, lockguard,
-// maporder, seedtaint and sharedfold analyzers (see internal/lint and
-// DESIGN.md "Determinism invariants" / "Concurrency invariants").
+// parallel-safety, concurrency, and hot-path performance invariants:
+// the atomicpub, callgraph, commitseq, detrand, errcode, frozen,
+// hotpath, idkind, latebind, lockguard, maporder, seedtaint and
+// sharedfold analyzers (see internal/lint and DESIGN.md "Determinism
+// invariants" / "Concurrency invariants" / "Hot-path invariants").
 //
 // Standalone:
 //
@@ -10,8 +11,10 @@
 //
 // loads the named packages (compiling dependency export data through
 // the ordinary build cache) and prints one line per finding,
-// vet-style. Exit status follows the CI contract: 0 clean, 1 findings
-// (after baseline suppression), 2 tool or load failure. Test files are
+// vet-style. Exit status follows the CI contract: 0 clean, 1 failing
+// findings (after baseline suppression), 2 tool or load failure.
+// Error-tier findings always fail; warn-tier findings (hotpath,
+// latebind, idkind) print but fail only under -strict. Test files are
 // not scanned in this mode.
 //
 // Reports and gating:
@@ -50,9 +53,6 @@ import (
 	"repro/internal/lint/sarif"
 )
 
-// toolVersion labels SARIF output; bump alongside analyzer additions.
-const toolVersion = "3.0"
-
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout))
 }
@@ -65,11 +65,11 @@ func run(args []string, stdout *os.File) int {
 	sarifFlag := fs.String("sarif", "", "write a SARIF 2.1.0 report to `file` (standalone mode)")
 	baselineFlag := fs.String("baseline", "", "suppress findings fingerprinted in baseline `file`; exit 1 only on new findings")
 	writeBaselineFlag := fs.String("write-baseline", "", "write all current findings to baseline `file` and exit 0")
+	strictFlag := fs.Bool("strict", false, "promote warn-tier findings to failing (exit 1)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bgplint [-sarif file] [-baseline file | -write-baseline file] [packages]\n       go vet -vettool=$(which bgplint) [packages]\n\nAnalyzers:\n")
-		for _, a := range lint.Analyzers() {
-			doc, _, _ := strings.Cut(a.Doc, "\n")
-			fmt.Fprintf(os.Stderr, "  %-12s [%-7s] %s\n", a.Name, lint.Severity(a.Name), doc)
+		fmt.Fprintf(os.Stderr, "usage: bgplint [-strict] [-sarif file] [-baseline file | -write-baseline file] [packages]\n       go vet -vettool=$(which bgplint) [packages]\n\nAnalyzers:\n")
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(os.Stderr, "  %-12s [%-7s] %s\n", r.Name, r.Severity, r.Summary)
 		}
 	}
 	if err := fs.Parse(args); err != nil {
@@ -93,9 +93,14 @@ func run(args []string, stdout *os.File) int {
 
 	analyzers := lint.Analyzers()
 
-	// Vet protocol: a single *.cfg argument names a unit of work.
+	// Vet protocol: a single *.cfg argument names a unit of work. The
+	// go command forwards no flags, so vet units run non-strict: warn
+	// findings print in vet output without failing the build.
 	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return driver.RunVetUnit(rest[0], analyzers, os.Stderr)
+		failing := func(analyzer string) bool {
+			return lint.Failing(lint.Severity(analyzer), *strictFlag)
+		}
+		return driver.RunVetUnit(rest[0], analyzers, failing, os.Stderr)
 	}
 
 	patterns := fs.Args()
@@ -117,7 +122,7 @@ func run(args []string, stdout *os.File) int {
 	fps := baseline.Fingerprints(findings, rel)
 
 	if *writeBaselineFlag != "" {
-		bl := baseline.FromFindings(findings, fps, rel)
+		bl := baseline.FromFindings(findings, fps, rel, lint.Severity)
 		if err := bl.WriteFile(*writeBaselineFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "bgplint:", err)
 			return driver.ExitFailure
@@ -153,18 +158,28 @@ func run(args []string, stdout *os.File) int {
 		}
 	}
 
-	fresh := 0
+	// Every fresh finding prints; only failing-tier ones (errors, plus
+	// warnings under -strict) decide the exit status.
+	fresh, failing, warnOnly := 0, 0, 0
 	for i, f := range findings {
 		if suppressed[i] {
 			continue
 		}
 		fresh++
 		fmt.Fprintf(stdout, "%s: %s\n", f.Pos, f.Message)
+		if lint.Failing(lint.Severity(f.Analyzer), *strictFlag) {
+			failing++
+		} else {
+			warnOnly++
+		}
 	}
 	if n := len(findings) - fresh; n > 0 {
 		fmt.Fprintf(os.Stderr, "bgplint: %d finding(s) suppressed by baseline %s\n", n, *baselineFlag)
 	}
-	if fresh > 0 {
+	if warnOnly > 0 && !*strictFlag {
+		fmt.Fprintf(os.Stderr, "bgplint: %d warning(s) not failing the run; use -strict to gate them\n", warnOnly)
+	}
+	if failing > 0 {
 		return driver.ExitFindings
 	}
 	return driver.ExitClean
@@ -186,16 +201,17 @@ func relTo(dir string) func(string) string {
 	}
 }
 
-// analyzersRules builds the SARIF rule table: one entry per analyzer,
-// documented by the first line of its Doc and its severity tier.
+// analyzersRules builds the SARIF rule table from the registry's rule
+// metadata: one entry per analyzer, documented by the first line of
+// its Doc and its severity tier.
 func analyzersRules(analyzers []*analysis.Analyzer) []sarif.Rule {
-	rules := make([]sarif.Rule, 0, len(analyzers))
-	for _, a := range analyzers {
-		doc, _, _ := strings.Cut(a.Doc, "\n")
+	metas := lint.Rules()
+	rules := make([]sarif.Rule, 0, len(metas))
+	for _, m := range metas {
 		rules = append(rules, sarif.Rule{
-			ID:               a.Name,
-			ShortDescription: sarif.Message{Text: doc},
-			DefaultConfig:    &sarif.RuleConfig{Level: lint.Severity(a.Name)},
+			ID:               m.Name,
+			ShortDescription: sarif.Message{Text: m.Summary},
+			DefaultConfig:    &sarif.RuleConfig{Level: m.Severity},
 		})
 	}
 	return rules
@@ -222,7 +238,7 @@ func writeSARIF(path string, rules []sarif.Rule, findings []driver.Finding, fps,
 		return err
 	}
 	defer out.Close()
-	if err := sarif.Build(toolVersion, rules, infos).Encode(out); err != nil {
+	if err := sarif.Build(lint.ToolVersion, rules, infos).Encode(out); err != nil {
 		return err
 	}
 	return out.Close()

@@ -11,28 +11,35 @@ import (
 	"repro/internal/lint/driver"
 )
 
-// copyFixture clones testdata/modfixture — a standalone module with
-// one seedtaint finding and one atomicpub finding — into a temp dir
-// the test may mutate.
-func copyFixture(t *testing.T) string {
+// copyFixture clones the named testdata fixture module (with any
+// nested packages) into a temp dir the test may mutate.
+func copyFixture(t *testing.T, name string) string {
 	t.Helper()
-	src, err := filepath.Abs(filepath.Join("testdata", "modfixture"))
+	src, err := filepath.Abs(filepath.Join("testdata", name))
 	if err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	entries, err := os.ReadDir(src)
+	err = filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(dir, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
 	if err != nil {
 		t.Fatal(err)
-	}
-	for _, e := range entries {
-		data, err := os.ReadFile(filepath.Join(src, e.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
-			t.Fatal(err)
-		}
 	}
 	return dir
 }
@@ -59,7 +66,7 @@ func runTool(t *testing.T, args ...string) (int, string) {
 // finding on top of the baseline exits 1 again; a missing baseline
 // file is a tool failure (exit 2).
 func TestExitCodeContract(t *testing.T) {
-	dir := copyFixture(t)
+	dir := copyFixture(t, "modfixture")
 	t.Chdir(dir)
 
 	code, out := runTool(t, "./...")
@@ -118,6 +125,60 @@ func TestExitCodeContract(t *testing.T) {
 	code, _ = runTool(t, "-baseline", "no-such-file.json", "./...")
 	if code != driver.ExitFailure {
 		t.Fatalf("missing baseline: exit %d, want %d", code, driver.ExitFailure)
+	}
+}
+
+// TestWarnTierExitContract walks the warn-tier workflow on a fixture
+// whose only finding is a hotpath warning: it prints without failing,
+// -strict promotes it to exit 1, a baseline records its severity, and
+// a baselined -strict run is clean again.
+func TestWarnTierExitContract(t *testing.T) {
+	dir := copyFixture(t, "warnfixture")
+	t.Chdir(dir)
+
+	code, out := runTool(t, "./filter")
+	if code != driver.ExitClean {
+		t.Fatalf("warn-only run: exit %d, want %d (warnings must not fail)\noutput:\n%s", code, driver.ExitClean, out)
+	}
+	if !strings.Contains(out, "fmt.Sprintf") || !strings.Contains(out, "hotpath") {
+		t.Fatalf("warn finding not printed:\n%s", out)
+	}
+
+	code, out = runTool(t, "-strict", "./filter")
+	if code != driver.ExitFindings {
+		t.Fatalf("-strict run: exit %d, want %d (strict promotes warnings)\noutput:\n%s", code, driver.ExitFindings, out)
+	}
+
+	// The SARIF artifact carries the warning at its tier.
+	code, _ = runTool(t, "-sarif", "warn.sarif", "./filter")
+	if code != driver.ExitClean {
+		t.Fatalf("sarif run: exit %d, want %d", code, driver.ExitClean)
+	}
+	sarifData, err := os.ReadFile("warn.sarif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sarifData), `"level": "warning"`) && !strings.Contains(string(sarifData), `"level":"warning"`) {
+		t.Errorf("SARIF result not tagged as warning:\n%s", sarifData)
+	}
+
+	// A baseline snapshot records the finding's severity tier...
+	code, _ = runTool(t, "-write-baseline", "warn.baseline.json", "./filter")
+	if code != driver.ExitClean {
+		t.Fatalf("-write-baseline: exit %d, want %d", code, driver.ExitClean)
+	}
+	blData, err := os.ReadFile("warn.baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blData), `"warning"`) {
+		t.Errorf("baseline entry carries no warning severity:\n%s", blData)
+	}
+
+	// ...and suppresses it even under -strict: only NEW findings gate.
+	code, out = runTool(t, "-strict", "-baseline", "warn.baseline.json", "./filter")
+	if code != driver.ExitClean {
+		t.Fatalf("baselined -strict run: exit %d, want %d\noutput:\n%s", code, driver.ExitClean, out)
 	}
 }
 

@@ -1,0 +1,14 @@
+// Warn-tier fixture: the package name filter puts Pipeline in
+// hotpath's root table, and the in-loop fmt.Sprintf is a warn-tier
+// finding — it prints on every run but fails only under -strict.
+package filter
+
+import "fmt"
+
+func Pipeline(events []int) []string {
+	out := make([]string, 0, len(events))
+	for _, e := range events {
+		out = append(out, fmt.Sprintf("e=%d", e))
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module warnfixture
+
+go 1.22

@@ -160,7 +160,7 @@ func (a *Analysis) classify() {
 	// while an old location later hosts an uninterrupted job ->
 	// application (Figure 2).
 	interrupted := a.InterruptedJobIDs()
-	execRuns := a.Jobs.ByExecFile()
+	execRuns := a.execRunsByID()
 	for code, ins := range byCode {
 		if _, done := a.Classification[code]; done {
 			continue
@@ -188,7 +188,7 @@ func (a *Analysis) classify() {
 				}
 				// A resubmission chain: no clean run of this executable
 				// between the two interrupted attempts.
-				if execRanCleanBetween(execRuns[a.tab.Execs.Name(exec)], prev.Job.EndTime, cur.Job.StartTime, interrupted) {
+				if execRanCleanBetween(execRuns[exec], prev.Job.EndTime, cur.Job.StartTime, interrupted) {
 					continue
 				}
 				// Did the old location host a clean job after the move?
@@ -211,6 +211,22 @@ func (a *Analysis) classify() {
 	// daily occurrence-count vectors; inherit the class of the most
 	// correlated labeled code.
 	a.classifyByCorrelation()
+}
+
+// execRunsByID re-keys ByExecFile's string-keyed grouping by typed
+// ExecID, so the cascade (classify Rule 3, Figure 2 extraction) looks
+// runs up by interned ID rather than display name. Executables that
+// never appear in an interruption have no interned ID and are dropped;
+// nothing looks them up.
+func (a *Analysis) execRunsByID() map[symtab.ExecID][]joblog.Job {
+	byName := a.Jobs.ByExecFile()
+	runs := make(map[symtab.ExecID][]joblog.Job, len(byName))
+	for name, js := range byName {
+		if id, ok := a.tab.Execs.Lookup(name); ok {
+			runs[id] = js
+		}
+	}
+	return runs
 }
 
 // execRanCleanBetween reports whether any run of the executable (given
@@ -258,7 +274,8 @@ func (a *Analysis) dailyCountsAll() [][]float64 {
 }
 
 func (a *Analysis) classifyByCorrelation() {
-	var labeled, unlabeled []symtab.ErrcodeID
+	labeled := make([]symtab.ErrcodeID, 0, len(a.Identification))
+	unlabeled := make([]symtab.ErrcodeID, 0, len(a.Identification))
 	for code := range a.Identification {
 		if _, ok := a.Classification[code]; ok {
 			labeled = append(labeled, code)
@@ -284,7 +301,7 @@ func (a *Analysis) classifyByCorrelation() {
 			lab symtab.ErrcodeID
 			r   float64
 		}
-		var cands []cand
+		cands := make([]cand, 0, len(labeled))
 		for _, lab := range labeled {
 			r := stats.Pearson(vectors[code], vectors[lab])
 			if math.IsNaN(r) || r < minCorrelation {

@@ -56,7 +56,9 @@ func (ix *occupancyIndex) runningOn(mp int, t time.Time) (joblog.Job, bool) {
 // [from, to].
 func (ix *occupancyIndex) endedWithin(mp int, from, to time.Time) []joblog.Job {
 	js := ix.perMp[mp]
-	var out []joblog.Job
+	// Sized for the common case (a handful of jobs end inside any one
+	// window) without paying len(js) capacity on every call.
+	out := make([]joblog.Job, 0, min(len(js), 8))
 	for _, j := range js {
 		if j.StartTime.After(to) {
 			break

@@ -242,7 +242,10 @@ func MineCausality(cfg Config, events []*Event) []Rule {
 // rulesFromCounts turns mined co-occurrence counts into the rule set,
 // sorted by (Leader, Follower) ID — first-seen symbol order.
 func rulesFromCounts(cfg Config, coCount map[uint64]int, total []int) []Rule {
-	var rules []Rule
+	// Few pairs survive the support/confidence cuts; a small fixed
+	// capacity avoids both per-iteration growth and a len(coCount)
+	// allocation that would dwarf the survivors.
+	rules := make([]Rule, 0, min(len(coCount), 64))
 	for p, n := range coCount {
 		if n < cfg.CausalityMinSupport {
 			continue
@@ -281,7 +284,7 @@ func Causality(window time.Duration, rules []Rule, events []*Event) []*Event {
 	}
 	lastAt := make([]int64, n)
 	seen := make([]bool, n)
-	var out []*Event
+	out := make([]*Event, 0, len(events))
 	for _, ev := range events {
 		first := ev.First.UnixNano()
 		drop := false

@@ -115,7 +115,7 @@ func temporalSharded(workers int, window time.Duration, cols *store.Events, recs
 // Open clusters live in a dense per-ErrcodeID slice of size nCodes.
 func spatialCluster(window time.Duration, events []*Event, idxs []int, nCodes int) []tagged {
 	open := make([]*Event, nCodes)
-	var out []tagged
+	out := make([]tagged, 0, len(idxs))
 	for _, i := range idxs {
 		ev := events[i]
 		cur := open[ev.Code]

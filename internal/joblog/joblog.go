@@ -383,10 +383,13 @@ func (j *Job) unmarshalFields(line []byte, d *decoder) error {
 }
 
 func parseEpochField(b []byte) (time.Time, error) {
-	if t, ok, err := parseEpochBytes(b); ok || err != nil {
-		return t, err
+	t, ok, err := parseEpochBytes(b)
+	if !ok && err == nil {
+		// The fast path is exact for well-formed fields; delegate
+		// near-misses (and their string conversion) to the slow parser.
+		return parseEpoch(string(b))
 	}
-	return parseEpoch(string(b))
+	return t, err
 }
 
 // UnmarshalLine parses one line of the job log.

@@ -25,14 +25,17 @@ import (
 // Version is the baseline file schema version.
 const Version = 1
 
-// An Entry is one suppressed finding. Analyzer, File, and Message are
-// redundant with the fingerprint; they are stored so a reviewer can
-// audit what a baseline hides without rerunning the tool.
+// An Entry is one suppressed finding. Analyzer, File, Message, and
+// Severity are redundant with the fingerprint (Severity is not hashed
+// at all, so retiering an analyzer never churns fingerprints); they
+// are stored so a reviewer can audit what a baseline hides — and which
+// tier of debt it is — without rerunning the tool.
 type Entry struct {
 	Fingerprint string `json:"fingerprint"`
 	Analyzer    string `json:"analyzer"`
 	File        string `json:"file"`
 	Message     string `json:"message"`
+	Severity    string `json:"severity,omitempty"`
 }
 
 // A File is a parsed baseline.
@@ -67,16 +70,21 @@ func Fingerprints(fs []driver.Finding, rel func(string) string) []string {
 }
 
 // FromFindings builds a baseline covering every given finding. fps
-// must be the parallel slice from Fingerprints.
-func FromFindings(fs []driver.Finding, fps []string, rel func(string) string) *File {
+// must be the parallel slice from Fingerprints; severityOf maps an
+// analyzer name to its tier for the audit column (nil leaves it out).
+func FromFindings(fs []driver.Finding, fps []string, rel func(string) string, severityOf func(string) string) *File {
 	bl := &File{Version: Version, Entries: []Entry{}}
 	for i, f := range fs {
-		bl.Entries = append(bl.Entries, Entry{
+		e := Entry{
 			Fingerprint: fps[i],
 			Analyzer:    f.Analyzer,
 			File:        rel(f.Pos.Filename),
 			Message:     f.Message,
-		})
+		}
+		if severityOf != nil {
+			e.Severity = severityOf(f.Analyzer)
+		}
+		bl.Entries = append(bl.Entries, e)
 	}
 	sort.Slice(bl.Entries, func(i, j int) bool {
 		a, b := bl.Entries[i], bl.Entries[j]

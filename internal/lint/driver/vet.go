@@ -82,8 +82,14 @@ func PrintFlags(w io.Writer) error {
 // write the merged fact set to VetxOutput, and report diagnostics.
 //
 // Exit codes follow the bgplint contract (not unitchecker's):
-// 0 clean, 1 findings, 2 tool or load failure.
-func RunVetUnit(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+// 0 clean, 1 findings, 2 tool or load failure. failing says whether a
+// finding from the named analyzer fails the unit; every finding prints
+// regardless, so warn-tier diagnostics surface in go vet output
+// without failing the build. A nil failing fails on everything.
+func RunVetUnit(cfgFile string, analyzers []*analysis.Analyzer, failing func(analyzer string) bool, stderr io.Writer) int {
+	if failing == nil {
+		failing = func(string) bool { return true }
+	}
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -231,10 +237,14 @@ func RunVetUnit(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer
 	if exit != ExitClean {
 		return exit
 	}
+	fail := false
 	for _, f := range sortAndDedupe(findings) {
 		fmt.Fprintf(stderr, "%s: %s\n", f.Pos, f.Message)
+		if failing(f.Analyzer) {
+			fail = true
+		}
 	}
-	if len(findings) > 0 {
+	if fail {
 		return ExitFindings
 	}
 	return ExitClean

@@ -1,0 +1,93 @@
+package hotpath_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/hotpath"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, "testdata", hotpath.Analyzer, "raslog", "filter")
+}
+
+// TestRootTable pins the root table's shape: sorted, duplicate-free,
+// and every symbol of the "pkg.Name" or "pkg.Recv.Name" form, so
+// cmd/bgpescape's consumers can parse it by cutting on the first dot.
+func TestRootTable(t *testing.T) {
+	rs := hotpath.Roots()
+	if len(rs) == 0 {
+		t.Fatal("empty root table")
+	}
+	syms := make([]string, 0, len(rs))
+	for _, r := range rs {
+		if r.Kind != hotpath.PerCall && r.Kind != hotpath.PerEvent {
+			t.Errorf("root %s has kind %v, want per-call or per-event", r.Sym, r.Kind)
+		}
+		if parts := strings.Split(r.Sym, "."); len(parts) < 2 || len(parts) > 3 {
+			t.Errorf("root sym %q is not pkg.Name or pkg.Recv.Name", r.Sym)
+		}
+		syms = append(syms, r.Sym)
+	}
+	if !sort.StringsAreSorted(syms) {
+		t.Errorf("root table not sorted: %v", syms)
+	}
+	for i := 1; i < len(syms); i++ {
+		if syms[i] == syms[i-1] {
+			t.Errorf("duplicate root %q", syms[i])
+		}
+	}
+	// Roots returns a copy: mutating it must not poison the table.
+	rs[0].Sym = "mutated"
+	if hotpath.Roots()[0].Sym == "mutated" {
+		t.Error("Roots() exposes the internal table")
+	}
+}
+
+// TestHotFactExport checks hotness propagation end to end on the
+// fixture: the per-event root exports PerEvent, heat reaches its
+// helpers through the callgraph, and unreachable functions export no
+// HotFact but still export their AllocFact for cross-package callers.
+func TestHotFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", hotpath.Analyzer, "raslog")
+
+	var hf hotpath.HotFact
+	if !store.ImportObjectFactByPath("raslog", "Record.UnmarshalFields", &hf) {
+		t.Fatal("no HotFact on the declared root Record.UnmarshalFields")
+	}
+	if hf.Kind != hotpath.PerEvent {
+		t.Errorf("root kind = %v, want per-event", hf.Kind)
+	}
+	for _, helper := range []string{"Record.reject", "Record.classify", "Record.expand", "sinkAny"} {
+		if !store.ImportObjectFactByPath("raslog", helper, &hf) || hf.Kind != hotpath.PerEvent {
+			t.Errorf("heat did not propagate to %s (fact=%v kind=%v)", helper,
+				store.ImportObjectFactByPath("raslog", helper, &hf), hf.Kind)
+		}
+	}
+	if store.ImportObjectFactByPath("raslog", "Summary", &hf) {
+		t.Error("Summary is unreachable from any root but carries a HotFact")
+	}
+	var af hotpath.AllocFact
+	if !store.ImportObjectFactByPath("raslog", "Summary", &af) {
+		t.Fatal("Summary exports no AllocFact")
+	}
+	want := []string{"fmt.Sprint call", "map literal"}
+	if strings.Join(af.Constructs, "|") != strings.Join(want, "|") {
+		t.Errorf("Summary AllocFact = %v, want %v", af.Constructs, want)
+	}
+}
+
+// TestPerCallFactExport checks the second tier: a per-call root
+// exports PerCall, while its loop callees would be per-event.
+func TestPerCallFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", hotpath.Analyzer, "filter")
+	var hf hotpath.HotFact
+	if !store.ImportObjectFactByPath("filter", "Pipeline", &hf) || hf.Kind != hotpath.PerCall {
+		t.Errorf("Pipeline HotFact = %v, want per-call", hf.Kind)
+	}
+	if !store.ImportObjectFactByPath("filter", "BenchmarkCascade", &hf) || hf.Kind != hotpath.PerCall {
+		t.Errorf("BenchmarkCascade HotFact = %v, want per-call (benchmark seeding)", hf.Kind)
+	}
+}

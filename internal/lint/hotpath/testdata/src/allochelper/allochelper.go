@@ -1,0 +1,29 @@
+// Fixture helper package outside the hot set: nothing here is a root,
+// so no diagnostics land in this package — but each function exports
+// its AllocFact, and hot loops in other packages that call an
+// allocation-bearing helper are flagged at the call site.
+package allochelper
+
+// Grow allocates per call (map literal, append growth); a hot
+// cross-package caller is held to this summary.
+func Grow(n int) map[string]int {
+	m := map[string]int{}
+	var keys []string
+	for i := 0; i < n; i++ {
+		keys = append(keys, "k")
+		m["k"]++
+	}
+	_ = keys
+	return m
+}
+
+// Describe allocates too, but returns a single error: pure error
+// constructors run only on reject paths, so hot callers skip it.
+func Describe(n int) error {
+	parts := map[string]int{"n": n}
+	_ = parts
+	return nil
+}
+
+// Clean is allocation-free; hot callers stay quiet on it.
+func Clean(n int) int { return n * 2 }

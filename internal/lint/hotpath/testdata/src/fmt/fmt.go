@@ -1,0 +1,11 @@
+// Fixture shadow of the standard fmt package: hotpath matches fmt.*
+// calls by package path, and linttest resolves fixture packages before
+// GOROOT source, so this two-function stub triggers the check without
+// compiling the real fmt (and its dependency cone) from source.
+package fmt
+
+func Sprintf(format string, args ...interface{}) string { return format }
+
+func Sprint(args ...interface{}) string { return "" }
+
+func Errorf(format string, args ...interface{}) error { return nil }

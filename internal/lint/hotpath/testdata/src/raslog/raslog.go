@@ -1,0 +1,108 @@
+// Fixture mirror of the ingest codec: hotpath keys its root table by
+// package NAME plus object path, so this package's
+// Record.UnmarshalFields is the per-event root
+// raslog.Record.UnmarshalFields and its whole body is hot.
+package raslog
+
+import (
+	"fmt"
+	"sort"
+)
+
+type Record struct {
+	name string
+	run  func() int
+	m    map[string]int
+}
+
+// UnmarshalFields is a per-event root: every allocation-bearing
+// construct in its body (and in everything it calls) is per-event.
+func (r *Record) UnmarshalFields(b []byte) error {
+	r.name = string(b)                  // want `string\(\.\.\.\) conversion of a byte slice allocates on a hot path; intern the string or keep the bytes`
+	msg := fmt.Sprintf("rec %d", len(b)) // want `call to fmt\.Sprintf allocates on a hot path`
+	_ = msg
+	raw := []byte(r.name) // want `\[\]byte\(\.\.\.\) conversion of a string allocates on a hot path; reuse a scratch buffer`
+	_ = raw
+	counts := map[string]int{} // want `map literal allocates on a hot path`
+	_ = counts
+	pair := []int{1, 2} // want `slice literal allocates on a hot path`
+	_ = pair
+	r.run = func() int { return len(r.name) } // want `closure capturing r escapes on a hot path`
+	r.classify(b)
+	r.expand(nil)
+	r.box(point{})
+	r.order(pair)
+	return r.reject(b)
+}
+
+// reject is not a root; it inherits per-event heat from
+// UnmarshalFields through the callgraph — except on its cold reject
+// path, where error formatting is amortized away.
+func (r *Record) reject(b []byte) error {
+	key := fmt.Sprint(len(b)) // want `call to fmt\.Sprint allocates on a hot path`
+	_ = key
+	if len(b) == 0 {
+		return fmt.Errorf("empty record") // cold reject path: no diagnostic
+	}
+	return nil
+}
+
+// classify exercises the conversion contexts the compiler compiles
+// without allocating: switch tags, equality operands, and map probes
+// stay quiet; a map STORE retains its key and is flagged.
+func (r *Record) classify(b []byte) int {
+	switch string(b) { // no diagnostic: switch-tag conversion does not allocate
+	case "boot":
+		return 1
+	}
+	if string(b) == "halt" { // no diagnostic: == operand does not allocate
+		return 2
+	}
+	if n, ok := r.m[string(b)]; ok { // no diagnostic: map probe does not allocate
+		return n
+	}
+	r.m[string(b)] = 1 // want `string\(\.\.\.\) conversion of a byte slice allocates on a hot path`
+	return 0
+}
+
+// expand exercises the append-preallocation check: appends into an
+// unsized slice from a hot loop are flagged, sized ones are not.
+func (r *Record) expand(bs [][]byte) []int {
+	var out []int
+	sized := make([]int, 0, len(bs))
+	for _, b := range bs {
+		n := len(b)
+		out = append(out, n) // want `append to out in a hot loop without preallocated capacity`
+		sized = append(sized, n)
+	}
+	_ = sized
+	return out
+}
+
+type point struct{ x, y int }
+
+func sinkAny(v interface{}) {}
+
+// box exercises interface boxing at call sites: a concrete struct
+// value allocates, pointer-shaped and constant arguments do not.
+func (r *Record) box(p point) {
+	sinkAny(p)  // want `p is boxed into an interface argument on a hot path`
+	sinkAny(&p) // no diagnostic: pointer-shaped values fit the interface word
+	sinkAny(3)  // no diagnostic: constants box without allocating
+}
+
+// order's closure and interface argument are sanctioned: deterministic
+// ordering is a correctness invariant (see detrand/maporder).
+func (r *Record) order(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Summary is unreachable from any root: the same constructs stay quiet
+// here, though its AllocFact is still exported for cross-package use.
+func Summary(rs []Record) string {
+	m := map[string]int{}
+	for i := range rs {
+		m[rs[i].name]++
+	}
+	return fmt.Sprint(len(m))
+}

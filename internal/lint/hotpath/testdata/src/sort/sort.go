@@ -1,0 +1,6 @@
+// Fixture shadow of the standard sort package: calls into sort are
+// sanctioned (deterministic ordering is a correctness invariant), so
+// the boxing and closure checks must stay quiet on them.
+package sort
+
+func Slice(x interface{}, less func(i, j int) bool) {}

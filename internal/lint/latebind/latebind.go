@@ -1,0 +1,312 @@
+// Package latebind defines the bgplint analyzer that enforces the
+// dictionary-encoding invariant statically: inside the analysis
+// cascade (filter, core, store, serve, predict, sched, stats) symbols
+// travel as typed symtab IDs, and their string names are resolved only
+// at the report boundary. PR 5 paid for that invariant — the cascade
+// got 63% faster when its maps were re-keyed from strings to dense
+// IDs — and this analyzer keeps anyone from quietly reintroducing
+// string keys.
+//
+// A resolution is a call that turns an ID back into its name: the
+// Name/All methods of a symtab dictionary or frozen view, or any
+// function that transitively returns one of those results (tracked
+// across packages by ResolvesFact, so a wrapper in a helper package is
+// recognized at its call sites). Resolutions themselves are fine at
+// the boundary — building report payloads, rendering JSON, ordering
+// output by display name (classify's tie-break comparators depend on
+// it). What gets flagged is a resolved name flowing back into an
+// identity role inside a checked package:
+//
+//   - indexing a string-keyed map with a resolved name (or deleting by
+//     one), directly or through a local variable or range over All()
+//   - comparing resolved names with == / != or switching on one
+//   - using a resolved name as a map-literal key
+//   - declaring a string-keyed map over an ID-carrying domain
+//     (a local whose name says errcode/exec/location/midplane/nodecard)
+//
+// Each of those has a typed-ID formulation that is both faster and
+// collision-proof; the diagnostic says which.
+package latebind
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "latebind",
+	Doc: "keep symtab string resolution at the report boundary\n\n" +
+		"Enforces the dictionary-encoding invariant inside the analysis cascade:\n" +
+		"resolved symbol names (symtab Name/All results, tracked across wrapper\n" +
+		"functions by ResolvesFact) must not be used as map keys, identity\n" +
+		"comparands, or switch tags, and string-keyed maps over ID-carrying\n" +
+		"domains are flagged; symbols travel as typed IDs until the report\n" +
+		"boundary renders them.",
+	Run:       run,
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{(*ResolvesFact)(nil)},
+}
+
+// A ResolvesFact marks a function whose results include a resolved
+// symbol name, so call sites in other packages treat it like a direct
+// symtab resolution.
+type ResolvesFact struct{}
+
+// AFact marks ResolvesFact as a fact type.
+func (*ResolvesFact) AFact() {}
+
+func (*ResolvesFact) String() string { return "resolves" }
+
+// checkedPkgs names the cascade packages (by package name, so the
+// linttest fixture mirrors are governed identically): everything
+// between ingest and the report boundary. cmd/*, examples/*, the repro
+// root, and the report renderers stay free to resolve.
+var checkedPkgs = map[string]bool{
+	"core":    true,
+	"filter":  true,
+	"predict": true,
+	"sched":   true,
+	"serve":   true,
+	"stats":   true,
+	"store":   true,
+}
+
+// domainWords are the ID-carrying domains of the symbol table; a
+// string-keyed map whose name cites one is a re-keying regression by
+// construction.
+var domainWords = []string{"errcode", "errorcode", "exec", "location", "midplane", "nodecard"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	graph := pass.ResultOf[callgraph.Analyzer].(*callgraph.Result)
+
+	// Pass 1: which local functions return resolved names? Iterate to
+	// a fixpoint so chains of wrappers are caught, then export
+	// ResolvesFact for cross-package call sites.
+	resolvers := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range graph.Order {
+			if resolvers[n.Fn] {
+				continue
+			}
+			rv := resolvedVars(pass, n, resolvers)
+			returns := false
+			ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+				ret, ok := nd.(*ast.ReturnStmt)
+				if !ok || returns {
+					return !returns
+				}
+				for _, res := range ret.Results {
+					if isResolved(pass, res, rv, resolvers) {
+						returns = true
+					}
+				}
+				return true
+			})
+			if returns {
+				resolvers[n.Fn] = true
+				changed = true
+			}
+		}
+	}
+	for _, n := range graph.Order {
+		if resolvers[n.Fn] {
+			pass.ExportObjectFact(n.Fn, &ResolvesFact{})
+		}
+	}
+
+	if !checkedPkgs[pass.Pkg.Name()] {
+		return nil, nil
+	}
+
+	// Pass 2: flag identity uses of resolved names and domain-named
+	// string-keyed maps, function by function in source order.
+	for _, n := range graph.Order {
+		rv := resolvedVars(pass, n, resolvers)
+		lintutil.WalkStack(n.Decl.Body, func(stack []ast.Node, nd ast.Node) {
+			switch x := nd.(type) {
+			case *ast.IndexExpr:
+				if !indexesStringMap(pass, x) {
+					return
+				}
+				if isResolved(pass, x.Index, rv, resolvers) {
+					pass.Reportf(x.Index.Pos(), "resolved symbol name used as a map key; key on the typed ID and resolve at the report boundary (latebind)")
+				}
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return
+				}
+				if isResolved(pass, x.X, rv, resolvers) || isResolved(pass, x.Y, rv, resolvers) {
+					pass.Reportf(x.OpPos, "resolved symbol name compared for identity; compare the typed IDs instead (latebind)")
+				}
+			case *ast.KeyValueExpr:
+				if len(stack) == 0 {
+					return
+				}
+				lit, ok := stack[len(stack)-1].(*ast.CompositeLit)
+				if !ok || !isStringMap(pass.TypesInfo.Types[lit].Type) {
+					return
+				}
+				if isResolved(pass, x.Key, rv, resolvers) {
+					pass.Reportf(x.Key.Pos(), "resolved symbol name used as a map-literal key; key on the typed ID and resolve at the report boundary (latebind)")
+				}
+			case *ast.SwitchStmt:
+				if x.Tag != nil && isResolved(pass, x.Tag, rv, resolvers) {
+					pass.Reportf(x.Tag.Pos(), "resolved symbol name switched on; switch on the typed ID instead (latebind)")
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && len(x.Args) == 2 {
+					if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin && isResolved(pass, x.Args[1], rv, resolvers) {
+						pass.Reportf(x.Args[1].Pos(), "resolved symbol name used as a map key; key on the typed ID and resolve at the report boundary (latebind)")
+					}
+				}
+			case *ast.AssignStmt:
+				if x.Tok != token.DEFINE {
+					return
+				}
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						checkDomainMap(pass, id)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range x.Names {
+					checkDomainMap(pass, name)
+				}
+			}
+		})
+	}
+	return nil, nil
+}
+
+// checkDomainMap flags a newly declared local whose type is a
+// string-keyed map and whose name cites an ID-carrying domain.
+func checkDomainMap(pass *analysis.Pass, id *ast.Ident) {
+	v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok || !isStringMap(v.Type()) {
+		return
+	}
+	lower := strings.ToLower(id.Name)
+	for _, w := range domainWords {
+		if strings.Contains(lower, w) {
+			pass.Reportf(id.Pos(), "string-keyed map %q over the %s domain; key on the symtab typed ID and resolve at the report boundary (latebind)", id.Name, w)
+			return
+		}
+	}
+}
+
+// resolvedVars collects the locals of one declaration bound to
+// resolution results: x := v.Name(id), or a range value over v.All().
+func resolvedVars(pass *analysis.Pass, n *callgraph.Node, resolvers map[*types.Func]bool) map[*types.Var]bool {
+	rv := make(map[*types.Var]bool)
+	// Two rounds so an alias of an already-marked var is caught even
+	// when it lexically precedes nothing; local chains are short.
+	for round := 0; round < 2; round++ {
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			switch x := nd.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || !isResolved(pass, x.Rhs[i], rv, resolvers) {
+						continue
+					}
+					if v := localVar(pass, id); v != nil {
+						rv[v] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if !isResolutionCall(pass, x.X, resolvers) {
+					return true
+				}
+				if id, ok := x.Value.(*ast.Ident); ok {
+					if v := localVar(pass, id); v != nil {
+						rv[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return rv
+}
+
+func localVar(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// isResolved reports whether e yields a resolved symbol name: a direct
+// resolution call, an index into an All() slice, or a local previously
+// bound to one.
+func isResolved(pass *analysis.Pass, e ast.Expr, rv map[*types.Var]bool, resolvers map[*types.Func]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return isResolutionCall(pass, x, resolvers)
+	case *ast.IndexExpr:
+		return isResolutionCall(pass, x.X, resolvers)
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[x].(*types.Var)
+		return ok && rv[v]
+	}
+	return false
+}
+
+// isResolutionCall reports whether e is a call that resolves an ID to
+// its display string: Name/All on a symtab dictionary or view, or any
+// function carrying a ResolvesFact.
+func isResolutionCall(pass *analysis.Pass, e ast.Expr, resolvers map[*types.Func]bool) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee := lintutil.Callee(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	if callee.Pkg().Name() == "symtab" && (callee.Name() == "Name" || callee.Name() == "All") {
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+	}
+	if resolvers[callee] {
+		return true
+	}
+	var rf ResolvesFact
+	return pass.ImportObjectFact(callee, &rf)
+}
+
+// indexesStringMap reports whether x indexes a value whose underlying
+// type is a string-keyed map.
+func indexesStringMap(pass *analysis.Pass, x *ast.IndexExpr) bool {
+	tv, ok := pass.TypesInfo.Types[x.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isStringMap(tv.Type)
+}
+
+// isStringMap reports whether t's underlying type is a map keyed by a
+// string-kinded type.
+func isStringMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	b, ok := m.Key().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

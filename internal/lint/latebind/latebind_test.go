@@ -1,0 +1,32 @@
+package latebind_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/latebind"
+	"repro/internal/lint/linttest"
+)
+
+// TestLatebind checks both sides of the boundary: identity uses of
+// resolved names are flagged inside the checked cascade package and
+// nowhere in the report-boundary package.
+func TestLatebind(t *testing.T) {
+	linttest.Run(t, "testdata", latebind.Analyzer, "filter", "report")
+}
+
+// TestResolvesFactExport checks the wrapper fixture in isolation:
+// functions returning resolved names (directly or through a chain)
+// export the fact, consumers that return no name do not.
+func TestResolvesFactExport(t *testing.T) {
+	_, store := linttest.RunAnalyzer(t, "testdata", latebind.Analyzer, "namewrap")
+	var rf latebind.ResolvesFact
+	if !store.ImportObjectFactByPath("namewrap", "Pretty", &rf) {
+		t.Error("no ResolvesFact exported for namewrap.Pretty")
+	}
+	if !store.ImportObjectFactByPath("namewrap", "Decorated", &rf) {
+		t.Error("no ResolvesFact exported for namewrap.Decorated (wrapper chain)")
+	}
+	if store.ImportObjectFactByPath("namewrap", "Count", &rf) {
+		t.Error("namewrap.Count unexpectedly carries a ResolvesFact")
+	}
+}

@@ -1,0 +1,89 @@
+// Fixture mirror of a cascade package: package NAME filter is in
+// latebind's checked set, so resolved symbol names flowing back into
+// identity roles are flagged here — exactly as in the real cascade.
+package filter
+
+import (
+	"namewrap"
+	"symtab"
+)
+
+// Tally re-keys on resolved names: the regression PR 5 paid to remove.
+func Tally(d *symtab.Dict, ids []symtab.ErrcodeID) map[string]int {
+	counts := make(map[string]int)
+	for _, id := range ids {
+		counts[d.Name(id)]++ // want `resolved symbol name used as a map key`
+	}
+	return counts
+}
+
+// Alias tracks resolution through a local variable.
+func Alias(d *symtab.Dict, id symtab.ErrcodeID, counts map[string]int) {
+	name := d.Name(id)
+	counts[name]++       // want `resolved symbol name used as a map key`
+	delete(counts, name) // want `resolved symbol name used as a map key`
+}
+
+// Compare flags identity comparison of resolved names.
+func Compare(d *symtab.Dict, a, b symtab.ErrcodeID) bool {
+	return d.Name(a) == d.Name(b) // want `resolved symbol name compared for identity`
+}
+
+// Dispatch flags switching on a resolved name.
+func Dispatch(d *symtab.Dict, id symtab.ErrcodeID) int {
+	switch d.Name(id) { // want `resolved symbol name switched on`
+	case "boot":
+		return 1
+	}
+	return 0
+}
+
+// Seed flags resolved names as map-literal keys.
+func Seed(d *symtab.Dict, id symtab.ErrcodeID) map[string]bool {
+	return map[string]bool{
+		d.Name(id): true, // want `resolved symbol name used as a map-literal key`
+	}
+}
+
+// RangeAll flags range values over All() used as keys.
+func RangeAll(d *symtab.Dict, seen map[string]int) {
+	for _, name := range d.All() {
+		seen[name]++ // want `resolved symbol name used as a map key`
+	}
+}
+
+// Wrapped reaches the same conclusion through another package's
+// wrapper, via its exported ResolvesFact.
+func Wrapped(d *symtab.Dict, id symtab.ErrcodeID, counts map[string]int) {
+	counts[namewrap.Pretty(d, id)]++ // want `resolved symbol name used as a map key`
+}
+
+// Chained follows a two-deep wrapper chain.
+func Chained(d *symtab.Dict, id symtab.ErrcodeID, counts map[string]int) {
+	counts[namewrap.Decorated(d, id)]++ // want `resolved symbol name used as a map key`
+}
+
+// DomainMaps: a string-keyed map named for an ID-carrying domain is a
+// re-keying regression by construction; the typed-ID form is the
+// blessed one.
+func DomainMaps() {
+	errcodeCount := make(map[string]int) // want `string-keyed map "errcodeCount" over the errcode domain`
+	_ = errcodeCount
+	var locationSeen map[string]bool // want `string-keyed map "locationSeen" over the location domain`
+	_ = locationSeen
+	byID := make(map[symtab.ErrcodeID]int) // no diagnostic: keyed on the typed ID
+	_ = byID
+	lineCount := make(map[string]int) // no diagnostic: not an ID-carrying domain
+	_ = lineCount
+}
+
+// Ingest-side strings never came OUT of the table, so keying and
+// comparing on them is the intended workflow.
+func Ingest(d *symtab.Dict, raw string, counts map[string]int) symtab.ErrcodeID {
+	counts[raw]++
+	if raw == "boot" {
+		counts[raw]--
+	}
+	id, _ := d.Lookup(raw)
+	return id
+}

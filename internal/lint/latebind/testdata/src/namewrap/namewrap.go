@@ -1,0 +1,21 @@
+// Fixture wrapper package: Pretty returns a resolved name, so it
+// exports a ResolvesFact and call sites in checked packages treat it
+// like a direct symtab resolution. The package itself is not in the
+// checked set, so nothing is flagged here.
+package namewrap
+
+import "symtab"
+
+// Pretty transitively returns a Name() result: a resolver.
+func Pretty(d *symtab.Dict, id symtab.ErrcodeID) string {
+	return d.Name(id)
+}
+
+// Decorated chains through Pretty: the fixpoint marks it too.
+func Decorated(d *symtab.Dict, id symtab.ErrcodeID) string {
+	s := Pretty(d, id)
+	return s
+}
+
+// Count consumes a resolution but returns no name: not a resolver.
+func Count(d *symtab.Dict) int { return len(d.All()) }

@@ -1,0 +1,26 @@
+// Fixture report-boundary package: NOT in latebind's checked set, so
+// resolving names into display maps, comparing them for ordering, and
+// switching on them is the intended workflow here — no diagnostics.
+package report
+
+import "symtab"
+
+func Render(d *symtab.Dict, ids []symtab.ErrcodeID) map[string]int {
+	rows := make(map[string]int, len(ids))
+	for _, id := range ids {
+		rows[d.Name(id)]++
+	}
+	return rows
+}
+
+func Order(d *symtab.Dict, a, b symtab.ErrcodeID) bool {
+	return d.Name(a) == d.Name(b)
+}
+
+func Label(d *symtab.Dict, id symtab.ErrcodeID) string {
+	switch d.Name(id) {
+	case "boot":
+		return "startup"
+	}
+	return d.Name(id)
+}

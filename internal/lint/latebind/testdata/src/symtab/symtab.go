@@ -1,0 +1,28 @@
+// Fixture mirror of the repo's internal/symtab dictionaries: latebind
+// recognizes resolution calls by (package named "symtab", method
+// Name/All with a receiver), so this shadow participates in the
+// invariant exactly like the real package.
+package symtab
+
+type ErrcodeID int32
+
+type Dict struct {
+	names []string
+}
+
+// Name resolves an ID back to its display string — a resolution.
+func (d *Dict) Name(id ErrcodeID) string { return d.names[id] }
+
+// All returns every resolved name — ranging over it yields resolved
+// values.
+func (d *Dict) All() []string { return d.names }
+
+// Lookup goes the other way (string to ID) and is not a resolution.
+func (d *Dict) Lookup(name string) (ErrcodeID, bool) {
+	for i, n := range d.names {
+		if n == name {
+			return ErrcodeID(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,11 +1,14 @@
 // Package lint is the registry of bgplint's determinism,
-// parallel-safety, and concurrency-invariant analyzers. cmd/bgplint
-// runs them all; see each analyzer package for the invariant it
-// encodes and DESIGN.md ("Determinism invariants", "Concurrency
-// invariants") for why the invariants exist.
+// parallel-safety, concurrency-invariant, and hot-path performance
+// analyzers. cmd/bgplint runs them all; see each analyzer package for
+// the invariant it encodes and DESIGN.md ("Determinism invariants",
+// "Concurrency invariants", "Hot-path invariants") for why the
+// invariants exist.
 package lint
 
 import (
+	"strings"
+
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/atomicpub"
 	"repro/internal/lint/callgraph"
@@ -13,11 +16,29 @@ import (
 	"repro/internal/lint/detrand"
 	"repro/internal/lint/errcode"
 	"repro/internal/lint/frozen"
+	"repro/internal/lint/hotpath"
 	"repro/internal/lint/idkind"
+	"repro/internal/lint/latebind"
 	"repro/internal/lint/lockguard"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/seedtaint"
 	"repro/internal/lint/sharedfold"
+)
+
+// ToolVersion labels SARIF output and the -V line; it is the single
+// place the suite version is spelled. Bump alongside analyzer
+// additions: 2.0 = determinism suite, 3.0 = concurrency suite,
+// 4.0 = hot-path performance suite (hotpath, latebind, warn tier).
+const ToolVersion = "4.0"
+
+// Severity tiers. SevError findings always gate CI; SevWarn findings
+// print but only gate under -strict (perf smells shouldn't hard-fail
+// like determinism bugs do); SevNote analyzers exist only for their
+// facts and never report.
+const (
+	SevError = "error"
+	SevWarn  = "warning"
+	SevNote  = "note"
 )
 
 // Analyzers returns the full bgplint suite, in stable order.
@@ -31,7 +52,9 @@ func Analyzers() []*analysis.Analyzer {
 		detrand.Analyzer,
 		errcode.Analyzer,
 		frozen.Analyzer,
+		hotpath.Analyzer,
 		idkind.Analyzer,
+		latebind.Analyzer,
 		lockguard.Analyzer,
 		maporder.Analyzer,
 		seedtaint.Analyzer,
@@ -39,11 +62,9 @@ func Analyzers() []*analysis.Analyzer {
 	}
 }
 
-// Severity maps an analyzer name to its reporting tier. "error"
-// findings gate CI; "warning" findings surface in reports (and SARIF)
-// but reviewers may baseline them; "note" analyzers exist only for
-// their facts and never report. Unknown names default to "warning" so
-// a future analyzer is never silently promoted to a gate.
+// Severity maps an analyzer name to its reporting tier. Unknown names
+// default to SevWarn so a future analyzer is never silently promoted
+// to a gate.
 func Severity(analyzer string) string {
 	switch analyzer {
 	case detrand.Analyzer.Name,
@@ -55,11 +76,48 @@ func Severity(analyzer string) string {
 		frozen.Analyzer.Name,
 		atomicpub.Analyzer.Name,
 		commitseq.Analyzer.Name:
-		return "error"
-	case idkind.Analyzer.Name:
-		return "warning"
+		return SevError
+	case idkind.Analyzer.Name,
+		hotpath.Analyzer.Name,
+		latebind.Analyzer.Name:
+		return SevWarn
 	case callgraph.Analyzer.Name:
-		return "note"
+		return SevNote
 	}
-	return "warning"
+	return SevWarn
+}
+
+// Failing reports whether a fresh finding of the given severity fails
+// the run. Errors always fail; warnings fail only under -strict; notes
+// never fail (and never report in practice).
+func Failing(severity string, strict bool) bool {
+	switch severity {
+	case SevError:
+		return true
+	case SevWarn:
+		return strict
+	}
+	return false
+}
+
+// A RuleMeta describes one analyzer for rule tables (SARIF, usage
+// text, README drift tests): its registry name, severity tier, and the
+// first line of its Doc.
+type RuleMeta struct {
+	Name     string
+	Severity string
+	Summary  string
+}
+
+// Rules returns one RuleMeta per registered analyzer, in registry
+// order, so every rule table in the tool is derived from the same
+// registry and cannot drift from it.
+func Rules() []RuleMeta {
+	analyzers := Analyzers()
+	rules := make([]RuleMeta, 0, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		rules = append(rules, RuleMeta{Name: a.Name, Severity: Severity(a.Name), Summary: doc})
+	}
+	return rules
 }

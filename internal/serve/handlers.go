@@ -155,6 +155,7 @@ func (s *Server) current(w http.ResponseWriter) *Epoch {
 	ep := s.e.Epoch()
 	if ep == nil {
 		writeError(w, http.StatusServiceUnavailable, 0, "no epoch published yet (POST /v1/publish after ingesting)")
+		return nil
 	}
 	return ep
 }

@@ -45,10 +45,12 @@ type fragment struct {
 	err  error
 }
 
+// queryNames backs QueryNames: allocated once, never mutated.
+var queryNames = []string{"rates", "mtbf", "interruptions", "vulnerability"}
+
 // QueryNames lists the JSON query views every epoch precomputes.
-func QueryNames() []string {
-	return []string{"rates", "mtbf", "interruptions", "vulnerability"}
-}
+// Callers must not mutate the returned slice.
+func QueryNames() []string { return queryNames }
 
 // newEpoch precomputes the JSON query payloads and prepares the lazy
 // fragment cache.

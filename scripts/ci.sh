@@ -45,6 +45,31 @@ if [ ! -f "$BENCH_BASELINE" ]; then
 	exit 1
 fi
 
+# `make bench` must exercise the same package set the bgpbench CI gate
+# measures; the two lists are spelled in the Makefile and in
+# cmd/bgpbench/main.go, so diff them.
+MAKE_BENCH_PKGS=$(sed -n 's/^BENCH_PKGS[[:space:]]*=[[:space:]]*//p' Makefile | tr ' ' '\n' | sort)
+TOOL_BENCH_PKGS=$(sed -n 's/^var benchPackages = \[\]string{\(.*\)}$/\1/p' cmd/bgpbench/main.go | tr -d '",' | tr ' ' '\n' | sort)
+if [ "$MAKE_BENCH_PKGS" != "$TOOL_BENCH_PKGS" ]; then
+	echo "ci.sh drift: Makefile BENCH_PKGS and cmd/bgpbench benchPackages disagree:" >&2
+	echo "  Makefile:  $(echo $MAKE_BENCH_PKGS)" >&2
+	echo "  bgpbench:  $(echo $TOOL_BENCH_PKGS)" >&2
+	exit 1
+fi
+
+# Same three-way agreement for the escape gate: `make escape-baseline`
+# writes the file the CI escape job compares against, and it must be
+# committed.
+ESCAPE_BASELINE=$(sed -n 's|.*cmd/bgpescape run -out \([A-Za-z0-9_.]*\.json\).*|\1|p' Makefile)
+if ! grep -q -- "-baseline $ESCAPE_BASELINE" .github/workflows/ci.yml; then
+	echo "ci.sh drift: 'make escape-baseline' writes $ESCAPE_BASELINE but the CI escape job gates a different file" >&2
+	exit 1
+fi
+if [ ! -f "$ESCAPE_BASELINE" ]; then
+	echo "ci.sh drift: escape baseline $ESCAPE_BASELINE is not committed — run 'make escape-baseline'" >&2
+	exit 1
+fi
+
 echo "== go build"
 go build ./...
 
