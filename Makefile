@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint lint-baseline check smoke smoke-golden fuzz bench bench-baseline escape escape-baseline golden
+.PHONY: all build vet test race lint lint-baseline check smoke smoke-golden membound fuzz bench bench-baseline escape escape-baseline golden
 
 all: check
 
@@ -47,7 +47,7 @@ lint-baseline:
 	$(GO) build -o bin/bgplint ./cmd/bgplint
 	./bin/bgplint -write-baseline lint.baseline.json $(LINT_PKGS)
 
-check: build vet lint test race smoke
+check: build vet lint test race smoke membound
 
 # End-to-end daemon smoke: boot bgpd over a deterministic sample
 # campaign, curl every endpoint family, and diff the answers against
@@ -58,6 +58,14 @@ smoke:
 
 smoke-golden:
 	./scripts/smoke_bgpd.sh -update
+
+# Bounded-memory equivalence gate: coanalyze a multi-campaign log under
+# GOMEMLIMIT with a -mem-budget far below the event payload (forcing
+# spill + zone-map-filtered reload) and diff the output against the
+# unconstrained run. A ci.sh drift check keeps this script, this
+# target, and the CI membound job pointing at the same gate.
+membound:
+	./scripts/membound.sh
 
 # Short fuzz smoke of the line parsers, the location-code grammar, the
 # symbol-table round trip, the ingest endpoints, and the seal/persist/
@@ -73,20 +81,21 @@ fuzz:
 	$(GO) test -race ./internal/symtab -fuzz FuzzSymtab -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -fuzz FuzzIngestBatch -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -fuzz FuzzSegmentSealRestore -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -fuzz FuzzSegmentCodec -fuzztime $(FUZZTIME)
 
 # The bgpbench-gated package set; a ci.sh drift check keeps this list
 # aligned with cmd/bgpbench's benchPackages so `make bench` exercises
 # exactly what CI gates.
-BENCH_PKGS = ./internal/raslog ./internal/joblog ./internal/filter ./internal/serve .
+BENCH_PKGS = ./internal/raslog ./internal/joblog ./internal/filter ./internal/serve ./internal/store .
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' $(BENCH_PKGS)
 
 # Regenerate the committed benchmark baseline the CI `bench` job gates
 # against (fixed -benchtime/-count so reports stay diffable). Like
-# lint-baseline, review the BENCH_PR6.json diff like code — a looser
+# lint-baseline, review the BENCH_PR9.json diff like code — a looser
 # baseline is a perf regression being waved through.
 bench-baseline:
-	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR6.json
+	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR9.json
 
 # Compiler escape-analysis budget gate: rebuild the hot packages with
 # -gcflags=-json and fail on new heap-escape sites, lost inlining, or

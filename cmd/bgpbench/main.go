@@ -1,14 +1,14 @@
 // Command bgpbench is the benchmark harness behind the CI perf gate:
 // it runs the named codec + pipeline + grouping benchmark subset with a
 // fixed -benchtime/-count, emits a machine-readable JSON report (schema
-// repro/bgpbench/v1, see BENCH_PR5.json at the repo root), and compares
+// repro/bgpbench/v1, see BENCH_PR9.json at the repo root), and compares
 // a fresh report against a committed baseline with a tolerance gate.
 //
 // Usage:
 //
-//	bgpbench run -out BENCH_PR5.json            # collect a report
+//	bgpbench run -out BENCH_PR9.json            # collect a report
 //	bgpbench run -count 5 -benchtime 2000x -out bench.json
-//	bgpbench compare -baseline BENCH_PR5.json -current bench.json
+//	bgpbench compare -baseline BENCH_PR9.json -current bench.json
 //
 // Exit codes: 0 pass (or comparison skipped on host mismatch),
 // 1 regression detected, 2 harness failure.
@@ -37,7 +37,8 @@ import (
 // speedup itself is regression-gated), the streaming pipeline, the
 // symtab-keyed grouping paths (the filter cascade against its
 // string-keyed legacy reference, and the co-analysis grouping stages),
-// and the serving daemon's ingest and query paths.
+// the serving daemon's ingest and query paths, and the segmented
+// store's encode/scan/merge paths.
 var benchSubset = []string{
 	"BenchmarkRASUnmarshal",
 	"BenchmarkRASUnmarshalFields",
@@ -54,10 +55,13 @@ var benchSubset = []string{
 	"BenchmarkCoanalysisGrouping",
 	"BenchmarkServeIngest",
 	"BenchmarkServeQuery",
+	"BenchmarkSegmentEncode",
+	"BenchmarkSegmentScan",
+	"BenchmarkSegmentMerge",
 }
 
 // benchPackages are the packages the subset lives in.
-var benchPackages = []string{"./internal/raslog", "./internal/joblog", "./internal/filter", "./internal/serve", "."}
+var benchPackages = []string{"./internal/raslog", "./internal/joblog", "./internal/filter", "./internal/serve", "./internal/store", "."}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -160,7 +164,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bgpbench compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		basePath  = fs.String("baseline", "BENCH_PR5.json", "committed baseline report")
+		basePath  = fs.String("baseline", "BENCH_PR9.json", "committed baseline report")
 		curPath   = fs.String("current", "", "fresh report to gate (required)")
 		tolerance = fs.Float64("tolerance", 0.25, "allowed ns/op growth fraction")
 	)
@@ -184,6 +188,11 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	if ok, why := baseline.GeneratedWith.Comparable(current.GeneratedWith); !ok {
 		fmt.Fprintf(stdout, "bgpbench: SKIP comparison: host metadata differs (%s); ns/op across hosts is noise\n", why)
 		fmt.Fprintf(stdout, "bgpbench: regenerate the baseline on this host with `make bench-baseline` to enable gating\n")
+		// A skipped gate must be loud in CI, not just a log line: emit a
+		// GitHub Actions annotation so the run summary carries it.
+		if os.Getenv("GITHUB_ACTIONS") == "true" {
+			fmt.Fprintf(stdout, "::warning title=bgpbench gate skipped::perf comparison skipped, host metadata differs (%s); regenerate the baseline on a CI-class host\n", why)
+		}
 		return 0
 	}
 	regs := compareReports(baseline, current, *tolerance)

@@ -196,6 +196,17 @@ func TestCompareEndToEnd(t *testing.T) {
 	if !strings.Contains(out.String(), "SKIP") {
 		t.Errorf("host-mismatch output missing SKIP warning: %s", out.String())
 	}
+	if strings.Contains(out.String(), "::warning") {
+		t.Errorf("annotation emitted outside GitHub Actions: %s", out.String())
+	}
+	out.Reset()
+	t.Setenv("GITHUB_ACTIONS", "true")
+	if code := run([]string{"compare", "-baseline", baseP, "-current", otherP}, &out, &errOut); code != 0 {
+		t.Fatalf("host-mismatch compare under CI exited %d, want 0 (skip)", code)
+	}
+	if !strings.Contains(out.String(), "::warning title=bgpbench gate skipped::") {
+		t.Errorf("CI skip missing ::warning:: annotation: %s", out.String())
+	}
 	if code := run([]string{"compare", "-baseline", baseP, "-current", filepath.Join(dir, "nope.json")}, &out, &errOut); code != 2 {
 		t.Fatal("missing current file should exit 2")
 	}

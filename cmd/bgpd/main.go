@@ -17,7 +17,7 @@
 //	POST /v1/ingest/ras   POST /v1/ingest/job   POST /v1/seal
 //	POST /v1/publish      POST /v1/quiesce
 //	GET  /v1/epoch        GET  /v1/query/{name} GET  /v1/report/{name}
-//	GET  /healthz
+//	GET  /v1/scan         GET  /healthz
 package main
 
 import (
@@ -66,12 +66,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		sealRecords  = fs.Int("seal-records", 4096, "filtered rows per durable segment")
 		poll         = fs.Duration("poll", 0, "tail poll interval for -follow (0 = default)")
 		flushEvery   = fs.Duration("flush-every", time.Second, "max latency before tailed records are ingested")
+		memBudget    = fs.Int64("mem-budget", 0, "resident column budget in bytes; sealed segments past it spill to -data and reload on demand (0 = keep everything resident; requires -data)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *memBudget > 0 && *dataDir == "" {
+		return errors.New("-mem-budget requires -data (spilled segments live there)")
+	}
 
-	eng, err := serve.NewEngine(serve.Config{DataDir: *dataDir, SealRows: *sealRecords})
+	eng, err := serve.NewEngine(serve.Config{DataDir: *dataDir, SealRows: *sealRecords, MemBudget: *memBudget})
 	if err != nil {
 		return err
 	}

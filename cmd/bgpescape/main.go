@@ -208,6 +208,10 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	if ok, why := baseline.GeneratedWith.Comparable(current.GeneratedWith); !ok {
 		fmt.Fprintf(stdout, "bgpescape: SKIP baseline comparison: toolchain differs (%s); escape verdicts move between compiler minors\n", why)
 		fmt.Fprintf(stdout, "bgpescape: regenerate the baseline with `make escape-baseline` to enable gating\n")
+		// Surface the skipped gate in the CI run summary, not only the log.
+		if os.Getenv("GITHUB_ACTIONS") == "true" {
+			fmt.Fprintf(stdout, "::warning title=bgpescape gate skipped::escape baseline comparison skipped, toolchain differs (%s); regenerate the baseline with the CI toolchain\n", why)
+		}
 	} else {
 		failures = append(failures, diffReports(baseline, current)...)
 	}

@@ -276,6 +276,18 @@ func TestCompareStaleBaseline(t *testing.T) {
 	if !strings.Contains(out.String(), "SKIP baseline comparison") {
 		t.Errorf("mismatch output missing SKIP notice:\n%s", out.String())
 	}
+	if strings.Contains(out.String(), "::warning") {
+		t.Errorf("annotation emitted outside GitHub Actions:\n%s", out.String())
+	}
+	out.Reset()
+	t.Setenv("GITHUB_ACTIONS", "true")
+	if code := run([]string{"compare", "-baseline", baseOld, "-current", cur}, &out, &errb); code != 0 {
+		t.Fatalf("toolchain mismatch under CI: exit %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "::warning title=bgpescape gate skipped::") {
+		t.Errorf("CI skip missing ::warning:: annotation:\n%s", out.String())
+	}
+	t.Setenv("GITHUB_ACTIONS", "")
 
 	// Toolchain mismatch must NOT mute the codec zero-escape rule.
 	curCodec := write("cur-codec.json", rep(Package{

@@ -38,9 +38,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jobP        = fs.String("job", "job.log", "job log path")
 		artifact    = fs.String("artifact", "all", "artifact to print: all, or one of "+keys())
 		parallelism = fs.Int("parallelism", 0, "worker bound for log decode and analysis fan-outs (0 = GOMAXPROCS, 1 = sequential)")
+		memBudget   = fs.Int64("mem-budget", 0, "bound the in-memory event payload to this many bytes, spilling sorted segment runs to disk and merging them back with zone-map pushdown; output is byte-identical to the unconstrained run (0 = analyze fully in memory)")
+		spillDir    = fs.String("spill-dir", "", "directory for -mem-budget segment runs (empty = a temp dir, removed on exit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *memBudget > 0 {
+		return runMembound(*memBudget, *spillDir, *rasP, *jobP, *artifact, *parallelism, stdout, stderr)
 	}
 
 	rf, err := os.Open(*rasP)

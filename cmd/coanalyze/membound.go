@@ -1,0 +1,186 @@
+package main
+
+// The bounded-memory analysis path behind -mem-budget: instead of
+// decoding the whole RAS log into one in-memory store, a single
+// sequential pass spools rows into sorted on-disk segment runs
+// (store.Spool flushes whenever the buffered payload exceeds the
+// budget), then the runs merge back — with zone-map pushdown skipping
+// every noise-only run unread — into the streaming filter cascade, and
+// the analysis proceeds exactly as the serving layer's epoch
+// publication does. Every stage downstream of the raw decode is the
+// same code the batch path is already proven byte-equivalent to, so
+// the rendered artifacts are byte-identical to an unconstrained run
+// over the same logs.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+	"repro/internal/store"
+	"repro/internal/symtab"
+)
+
+// runMembound analyzes rasLog/jobLog under a spill budget and renders
+// the requested artifact. spillDir holds the segment runs; when empty
+// a temporary directory is used and removed afterwards.
+func runMembound(budget int64, spillDir, rasP, jobP, artifact string, parallelism int, stdout, stderr io.Writer) error {
+	if spillDir == "" {
+		dir, err := os.MkdirTemp("", "coanalyze-spill-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		spillDir = dir
+	} else if err := os.MkdirAll(spillDir, 0o755); err != nil {
+		return err
+	}
+
+	rf, err := os.Open(rasP)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+
+	// One sequential pass: accumulate the raw-log aggregates the report
+	// needs (the batch path derives them from the retained store; here
+	// nothing is retained) and spool every row toward its sorted run.
+	// The budget's currency is the record's encoded line length — the
+	// same bytes Table I counts — so "budget smaller than the event
+	// payload" guarantees at least one spill.
+	var (
+		stats           repro.LogStats
+		rasFirst        int64 // min/max event time over ALL records
+		rasLast         int64
+		firstT, firstID int64 // FirstFatal key: min (EventTime, RecID)
+		sp              = store.NewSpool(spillDir, budget)
+		rd              = raslog.NewReader(rf)
+	)
+	for {
+		rec, err := rd.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading RAS log: line %d: %w", rd.Line(), err)
+		}
+		t := rec.EventTime.UnixNano()
+		weight := int64(len(rec.MarshalLine()) + 1)
+		stats.RASRecords++
+		stats.RASBytes += int(weight)
+		if stats.RASRecords == 1 || t < rasFirst {
+			rasFirst = t
+		}
+		if stats.RASRecords == 1 || t > rasLast {
+			rasLast = t
+		}
+		if rec.Fatal() {
+			stats.FatalRecords++
+			// First fatal in (EventTime, RecID) order; strict less keeps
+			// the earliest arrival on full ties, matching the stable sort
+			// of the batch store.
+			if !stats.HasFatal || t < firstT || (t == firstT && rec.RecID < firstID) {
+				stats.FirstFatal = rec
+				stats.HasFatal = true
+				firstT, firstID = t, rec.RecID
+			}
+		}
+		err = sp.Add(rec.RecID, t, rec.ErrCode, rec.Location,
+			int32(rec.Component), int32(rec.Severity), rec.Fatal(), weight)
+		if err != nil {
+			return err
+		}
+	}
+
+	cat, spStats, err := sp.Finish()
+	if err != nil {
+		return err
+	}
+	defer cat.Close()
+	fmt.Fprintf(stderr, "coanalyze: mem-budget %d: rows=%d runs=%d budget_flushes=%d spilled_bytes=%d\n",
+		budget, spStats.Rows, spStats.Runs, spStats.Flushes, spStats.SpilledBytes)
+
+	jf, err := os.Open(jobP)
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	jobs, err := joblog.ReadAllParallel(jf, parallelism)
+	if err != nil {
+		return fmt.Errorf("reading job log: %w", err)
+	}
+	jl := joblog.NewLog(jobs)
+
+	// Merge the runs back into one (EventTime, RecID)-ordered stream of
+	// the rows the cascade consumes. The query's FATAL mask lets the
+	// zone maps refute every noise-only run from its header.
+	acfg := core.DefaultConfig()
+	acfg.Parallelism = parallelism
+	tab := symtab.NewTable()
+	inc := filter.NewIncremental(acfg.Filter, tab)
+	mr, err := cat.Merge(filter.CascadeQuery())
+	if err != nil {
+		return err
+	}
+	for {
+		row, ok, err := mr.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := inc.FeedRow(row); err != nil {
+			return err
+		}
+	}
+	ms := mr.Stats()
+	fmt.Fprintf(stderr, "coanalyze: merge: segments=%d zone_skipped=%d scanned=%d fatal_rows=%d\n",
+		ms.Segments, ms.Skipped, ms.Scanned, ms.Rows)
+
+	events, fstats := inc.Snapshot()
+	var bld core.OccupancyBuilder
+	for _, j := range jl.All() {
+		bld.Add(j)
+	}
+	jFirst, jLast := jl.Span()
+	start, end := core.UnionSpan(nsTime(rasFirst), nsTime(rasLast), jFirst, jLast)
+	a, err := core.AnalyzeStream(acfg, core.StreamInput{
+		Tab:         tab,
+		Events:      events,
+		FilterStats: fstats,
+		Jobs:        jl,
+		Occupancy:   bld.Snapshot(),
+		SpanStart:   start,
+		SpanEnd:     end,
+	})
+	if err != nil {
+		return err
+	}
+	rep := repro.NewStreamReport(a, jl, stats)
+
+	if artifact == "all" {
+		return rep.RenderAll(stdout)
+	}
+	render, ok := artifacts[artifact]
+	if !ok {
+		return fmt.Errorf("unknown artifact %q; want all or one of %s", artifact, keys())
+	}
+	return render(rep, stdout)
+}
+
+// nsTime converts unix nanoseconds to a UTC time, mapping 0 (no
+// records seen) to the zero time so UnionSpan ignores the empty side.
+func nsTime(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMemboundMatchesBatch is the bounded-memory equivalence gate at
+// the command level: a -mem-budget small enough to force several spill
+// flushes must render byte-identical artifacts to the unconstrained
+// in-memory run over the same logs, and the spool/merge diagnostics on
+// stderr must show both a budget flush and a zone-map skip.
+func TestMemboundMatchesBatch(t *testing.T) {
+	rasP, jobP := writeFixtureLogs(t)
+
+	var want, wantErr bytes.Buffer
+	if err := run([]string{"-ras", rasP, "-job", jobP}, &want, &wantErr); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := os.Stat(rasP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := st.Size() / 8 // well under the event payload: must spill
+	var got, gotErr bytes.Buffer
+	err = run([]string{"-ras", rasP, "-job", jobP, "-mem-budget", strconv.FormatInt(budget, 10)}, &got, &gotErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("-mem-budget %d output differs from unconstrained run (%d vs %d bytes)",
+			budget, got.Len(), want.Len())
+	}
+	diag := gotErr.String()
+	if !strings.Contains(diag, "budget_flushes=") || strings.Contains(diag, "budget_flushes=0") {
+		t.Errorf("budget %d forced no spill flush:\n%s", budget, diag)
+	}
+	if !strings.Contains(diag, "zone_skipped=") || strings.Contains(diag, "zone_skipped=0 ") {
+		t.Errorf("merge consulted no zone map:\n%s", diag)
+	}
+}
+
+// TestMemboundSingleArtifact checks the artifact selector works on the
+// bounded path and that an explicit -spill-dir receives segment runs.
+func TestMemboundSingleArtifact(t *testing.T) {
+	rasP, jobP := writeFixtureLogs(t)
+	spill := filepath.Join(t.TempDir(), "runs")
+
+	var want bytes.Buffer
+	if err := run([]string{"-ras", rasP, "-job", jobP, "-artifact", "t4"}, &want, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	err := run([]string{"-ras", rasP, "-job", jobP, "-artifact", "t4",
+		"-mem-budget", "4096", "-spill-dir", spill}, &got, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("-artifact t4 differs under -mem-budget")
+	}
+	segs, err := filepath.Glob(filepath.Join(spill, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segment runs in the explicit -spill-dir")
+	}
+
+	var out bytes.Buffer
+	err = run([]string{"-ras", rasP, "-job", jobP, "-artifact", "bogus", "-mem-budget", "4096"},
+		&out, new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "unknown artifact") {
+		t.Errorf("bounded path accepted unknown artifact: %v", err)
+	}
+}

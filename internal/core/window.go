@@ -1,0 +1,94 @@
+package core
+
+// Window profiling: a small core analysis that runs directly off the
+// segmented store's pushdown scan instead of a published epoch. The
+// profiler states its predicate as a store.Query — so the store's zone
+// maps skip segments that cannot contribute — and folds the rows that
+// survive into a per-errcode breakdown for the serving layer's
+// /v1/scan endpoint.
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/store"
+)
+
+// WindowConfig selects the rows a window profile covers. Zero times
+// mean unbounded; empty strings mean any code/location.
+type WindowConfig struct {
+	// From and To bound the event time, inclusive.
+	From, To time.Time
+	// Code and Loc, when non-empty, restrict to one ERRCODE or raw
+	// location code.
+	Code, Loc string
+}
+
+// Query translates the window into the store's pushdown predicate.
+func (c WindowConfig) Query() store.Query {
+	q := store.Query{Code: c.Code, Loc: c.Loc}
+	if !c.From.IsZero() {
+		q.MinTimeNS = c.From.UnixNano()
+	}
+	if !c.To.IsZero() {
+		q.MaxTimeNS = c.To.UnixNano()
+	}
+	return q
+}
+
+// CodeCount is one errcode's row count within a window.
+type CodeCount struct {
+	Code  string `json:"code"`
+	Count int64  `json:"count"`
+}
+
+// WindowProfile summarizes the rows a window scan visited.
+type WindowProfile struct {
+	// Rows is the number of rows in the window.
+	Rows int64 `json:"rows"`
+	// Locations is the number of distinct location codes seen.
+	Locations int `json:"locations"`
+	// Codes is the per-errcode breakdown, by count descending then
+	// code ascending — a deterministic order independent of map
+	// iteration.
+	Codes []CodeCount `json:"codes"`
+}
+
+// WindowProfiler folds scanned rows into a WindowProfile. The zero
+// value is ready to use; feed it through Observe and finish with
+// Profile.
+type WindowProfiler struct {
+	byCode map[string]int64
+	locs   map[string]struct{}
+	rows   int64
+}
+
+// Observe folds one scanned row into the profile.
+func (p *WindowProfiler) Observe(row store.Row) {
+	if p.byCode == nil {
+		p.byCode = make(map[string]int64)
+		p.locs = make(map[string]struct{})
+	}
+	p.rows++
+	p.byCode[row.Code]++
+	p.locs[row.Loc] = struct{}{}
+}
+
+// Profile returns the accumulated summary.
+func (p *WindowProfiler) Profile() WindowProfile {
+	out := WindowProfile{
+		Rows:      p.rows,
+		Locations: len(p.locs),
+		Codes:     make([]CodeCount, 0, len(p.byCode)),
+	}
+	for code, n := range p.byCode {
+		out.Codes = append(out.Codes, CodeCount{Code: code, Count: n})
+	}
+	sort.Slice(out.Codes, func(i, j int) bool {
+		if out.Codes[i].Count != out.Codes[j].Count {
+			return out.Codes[i].Count > out.Codes[j].Count
+		}
+		return out.Codes[i].Code < out.Codes[j].Code
+	})
+	return out
+}

@@ -1,0 +1,42 @@
+package filter
+
+// Bridge between the cascade and the segmented store's pushdown reader:
+// CascadeQuery states, as a store.Query, exactly which rows the cascade
+// consumes — FATAL severity, any time, any code, any location — so the
+// store's zone maps can refute whole segments (noise-only runs, cold
+// time ranges) without reading their columns. FeedRow then feeds one
+// merged row into the streaming cascade, re-interning its names into
+// the global table in merge order, which is the remap that keeps the
+// segmented path's ID numbering — and therefore all downstream output —
+// identical to the single-block path's.
+
+import (
+	"time"
+
+	"repro/internal/raslog"
+	"repro/internal/store"
+)
+
+// CascadeQuery returns the pushdown predicate for the filter cascade's
+// input: FATAL records only. Readers consult it against per-segment
+// zone maps before touching column payloads.
+func CascadeQuery() store.Query {
+	return store.Query{SevMask: 1 << uint(raslog.SevFatal)}
+}
+
+// FeedRow ingests one merged store row, in the (TimeNS, RecID) order
+// the merge reader yields. Only the columns the cascade reads are
+// reconstructed; the cascade interns Code then Loc per row, exactly as
+// Feed does for full records, so ID numbering matches the single-block
+// path over the same stream.
+func (inc *Incremental) FeedRow(row store.Row) error {
+	rec := raslog.Record{
+		RecID:     row.RecID,
+		Component: raslog.Component(row.Comp),
+		ErrCode:   row.Code,
+		Severity:  raslog.Severity(row.Sev),
+		EventTime: time.Unix(0, row.TimeNS).UTC(),
+		Location:  row.Loc,
+	}
+	return inc.Feed(&rec)
+}

@@ -59,6 +59,13 @@ type Config struct {
 	// aborts the seal at that point. It exists for fault-injection
 	// tests.
 	SealHook func(step string) error
+	// MemBudget, when positive, bounds the resident column payload (in
+	// bytes): after each persisted seal, sealed segments past the budget
+	// are committed to DataDir as columnar segment files (oldest first)
+	// and their in-memory columns dropped. Scans reload them on demand
+	// through the zone-map-filtered reader. Requires DataDir — the spill
+	// files live next to the checkpoint files.
+	MemBudget int64
 }
 
 // Engine is the serving core. All exported methods are safe for
@@ -123,9 +130,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 		inc:  filter.NewIncremental(cfg.Analysis.Filter, tab),
 		segs: store.SegmentSet{SealRows: cfg.SealRows},
 	}
+	if cfg.MemBudget > 0 && cfg.DataDir == "" {
+		return nil, fmt.Errorf("serve: MemBudget requires DataDir (spilled segments need a home)")
+	}
 	if cfg.DataDir != "" {
 		e.per = &persister{dir: cfg.DataDir, hook: cfg.SealHook}
 		if err := e.recover(); err != nil {
+			return nil, err
+		}
+		// Recovery rebuilds every sealed segment resident; re-apply the
+		// budget before serving.
+		if err := e.maybeSpill(); err != nil {
 			return nil, err
 		}
 	}
@@ -239,7 +254,7 @@ func (e *Engine) queueSeal(seg *store.Segment) error {
 		jobs: e.pendJobs,
 		man: manifest{
 			Seq:           seg.Seq,
-			Rows:          seg.Events.Len(),
+			Rows:          seg.Len(),
 			JobCount:      len(e.pendJobs),
 			RASRecords:    e.stats.RASRecords,
 			RASBytes:      e.stats.RASBytes,
@@ -259,7 +274,48 @@ func (e *Engine) queueSeal(seg *store.Segment) error {
 		return nil
 	}
 	e.unpersisted = append(e.unpersisted, sr)
-	return e.flushSeals()
+	if err := e.flushSeals(); err != nil {
+		return err
+	}
+	// Spill only after the seal is durably persisted: the spill file is
+	// a cache of the checkpointed rows, never the only copy.
+	return e.maybeSpill()
+}
+
+// maybeSpill enforces the memory budget by committing the oldest
+// resident sealed segments to DataDir and dropping their columns; zone
+// state stays resident so scans keep skipping them for free. Called
+// with e.mu held.
+func (e *Engine) maybeSpill() error {
+	if e.cfg.MemBudget <= 0 {
+		return nil
+	}
+	_, err := e.segs.SpillOver(e.cfg.MemBudget, e.cfg.DataDir,
+		e.tab.Errcodes.Name, e.tab.Locations.Name)
+	if err != nil {
+		return fmt.Errorf("serve: spilling segments: %w", err)
+	}
+	return nil
+}
+
+// ScanWindow runs a window profile directly against the segment set
+// with zone-map pushdown: segments outside the window (or without a
+// matching severity/code/location) are skipped from their resident
+// zone state, spilled segments that survive the check are reloaded on
+// demand. It reads the live set under the ingest lock, so the profile
+// is consistent with a single ingest boundary.
+func (e *Engine) ScanWindow(cfg core.WindowConfig) (core.WindowProfile, store.ScanStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var prof core.WindowProfiler
+	stats, err := e.segs.Scan(cfg.Query(), e.tab, func(row store.Row) error {
+		prof.Observe(row)
+		return nil
+	})
+	if err != nil {
+		return core.WindowProfile{}, stats, fmt.Errorf("serve: window scan: %w", err)
+	}
+	return prof.Profile(), stats, nil
 }
 
 // flushSeals writes queued seals in order, stopping at the first

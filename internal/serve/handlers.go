@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/joblog"
 	"repro/internal/raslog"
 )
@@ -26,6 +28,9 @@ const maxBatchBytes = 64 << 20
 //	GET  /v1/epoch         — current epoch summary
 //	GET  /v1/query/{name}  — rates | mtbf | interruptions | vulnerability
 //	GET  /v1/report/{name} — rendered report fragment (text/plain)
+//	GET  /v1/scan          — window profile over the segment set with
+//	                         zone-map pushdown; params: from, to
+//	                         (RFC 3339), code, loc
 //	GET  /healthz          — liveness + current epoch number
 //
 // Queries are served from the last published epoch and return 503
@@ -47,6 +52,7 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/epoch", s.epoch)
 	s.mux.HandleFunc("GET /v1/query/{name}", s.query)
 	s.mux.HandleFunc("GET /v1/report/{name}", s.report)
+	s.mux.HandleFunc("GET /v1/scan", s.scan)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	return s
 }
@@ -200,6 +206,51 @@ func (s *Server) report(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+}
+
+// scanPayload is the /v1/scan response: the window profile plus what
+// the pushdown scan touched (skipped counts segments refuted by zone
+// maps alone).
+type scanPayload struct {
+	Profile  core.WindowProfile `json:"profile"`
+	Segments int                `json:"segments"`
+	Skipped  int                `json:"skipped"`
+	Scanned  int                `json:"scanned"`
+}
+
+func (s *Server) scan(w http.ResponseWriter, r *http.Request) {
+	var cfg core.WindowConfig
+	q := r.URL.Query()
+	if v := q.Get("from"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, 0, "bad from time %q: %v", v, err)
+			return
+		}
+		cfg.From = t
+	}
+	if v := q.Get("to"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, 0, "bad to time %q: %v", v, err)
+			return
+		}
+		cfg.To = t
+	}
+	cfg.Code = q.Get("code")
+	cfg.Loc = q.Get("loc")
+	prof, stats, err := s.e.ScanWindow(cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, 0, "%v", err)
+		return
+	}
+	b, _ := json.Marshal(scanPayload{
+		Profile:  prof,
+		Segments: stats.Segments,
+		Skipped:  stats.Skipped,
+		Scanned:  stats.Scanned,
+	})
+	writeJSON(w, http.StatusOK, append(b, '\n'))
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/simulate"
+)
+
+// TestSpillEquivalence is the serve-side bounded-memory gate: the same
+// campaign is ingested into a fully resident engine and into one whose
+// MemBudget forces most sealed segments onto disk, while scan
+// goroutines hammer /v1/scan on the spilling engine (run under -race —
+// `make race` does). After quiescing, every report fragment and every
+// window profile must be identical across the two engines, and the
+// spilling engine must actually have spilled.
+func TestSpillEquivalence(t *testing.T) {
+	camp, err := simulate.Run(simulate.Config{Seed: 21, Days: 12, NoisePerFatal: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rasAll := camp.RAS.All()
+	jobsAll := camp.Jobs.All()
+
+	resident, err := NewEngine(Config{SealRows: 128, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget of two segments' worth of rows: every older seal spills.
+	budget := int64(2 * 128 * 32)
+	spDir := t.TempDir()
+	spilling, err := NewEngine(Config{SealRows: 128, DataDir: spDir, MemBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(spilling))
+	defer ts.Close()
+
+	// Scan hammer against the spilling engine while it ingests and
+	// spills: responses must stay coherent (200s with parseable bodies).
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	windows := []string{
+		"",
+		"?from=" + rasAll[0].EventTime.UTC().Format(time.RFC3339),
+		"?to=" + rasAll[len(rasAll)/2].EventTime.UTC().Format(time.RFC3339),
+		"?code=" + rasAll[0].ErrCode,
+		"?loc=nowhere",
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/v1/scan" + windows[i%len(windows)])
+				i++
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("scan: status %d: %s", resp.StatusCode, body)
+					return
+				}
+				var p scanPayload
+				if err := json.Unmarshal(body, &p); err != nil {
+					t.Errorf("scan payload: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	ri, ji := 0, 0
+	for ri < len(rasAll) || ji < len(jobsAll) {
+		if ji >= len(jobsAll) || (ri < len(rasAll) && rng.Intn(2) == 0) {
+			n := 1 + rng.Intn(300)
+			if ri+n > len(rasAll) {
+				n = len(rasAll) - ri
+			}
+			batch := rasAll[ri : ri+n]
+			if err := resident.IngestRAS(batch); err != nil {
+				t.Fatal(err)
+			}
+			if err := spilling.IngestRAS(batch); err != nil {
+				t.Fatal(err)
+			}
+			ri += n
+		} else {
+			n := 1 + rng.Intn(40)
+			if ji+n > len(jobsAll) {
+				n = len(jobsAll) - ji
+			}
+			batch := jobsAll[ji : ji+n]
+			if err := resident.IngestJobs(batch); err != nil {
+				t.Fatal(err)
+			}
+			if err := spilling.IngestJobs(batch); err != nil {
+				t.Fatal(err)
+			}
+			ji += n
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	epR, err := resident.Quiesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epS, err := spilling.Quiesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumR, sumS EpochSummary
+	if err := json.Unmarshal(epR.Summary(), &sumR); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(epS.Summary(), &sumS); err != nil {
+		t.Fatal(err)
+	}
+	if sumR.RASRecords != len(rasAll) || sumS.RASRecords != len(rasAll) {
+		t.Fatalf("epochs saw %d / %d records, want %d", sumR.RASRecords, sumS.RASRecords, len(rasAll))
+	}
+
+	// The budget must have done real work.
+	spilling.mu.Lock()
+	spilled := 0
+	for _, s := range spilling.segs.Sealed() {
+		if s.Spilled() {
+			spilled++
+		}
+	}
+	residentBytes := spilling.segs.ResidentBytes()
+	spilling.mu.Unlock()
+	if spilled == 0 {
+		t.Fatal("MemBudget engine spilled nothing")
+	}
+	if residentBytes > budget {
+		t.Fatalf("resident payload %d bytes exceeds budget %d after quiesce", residentBytes, budget)
+	}
+
+	// Identical report fragments, spilled or not: epoch analysis runs off
+	// the cascade's event snapshot, which spilling never touches.
+	for name := range repro.Artifacts() {
+		want, errR := epR.Fragment(name)
+		got, errS := epS.Fragment(name)
+		if (errR == nil) != (errS == nil) {
+			t.Errorf("report/%s: resident err %v, spilling err %v", name, errR, errS)
+			continue
+		}
+		if errR == nil && !bytes.Equal(want, got) {
+			t.Errorf("report/%s: spilling output differs from resident (%d vs %d bytes)",
+				name, len(got), len(want))
+		}
+	}
+
+	// Identical window profiles, with the spilling engine answering some
+	// of them from reloaded segment files.
+	mid := rasAll[len(rasAll)/2].EventTime
+	cfgs := []core.WindowConfig{
+		{},
+		{To: mid},
+		{From: mid},
+		{Code: rasAll[0].ErrCode},
+		{Loc: "nowhere"},
+	}
+	for i, cfg := range cfgs {
+		wantP, _, err := resident.ScanWindow(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotP, stats, err := spilling.ScanWindow(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantP, gotP) {
+			t.Errorf("window %d: profile differs:\nresident %+v\nspilling %+v", i, wantP, gotP)
+		}
+		if cfg.Loc == "nowhere" && stats.Scanned != 0 {
+			t.Errorf("window %d: %d segments scanned for an absent location", i, stats.Scanned)
+		}
+	}
+}
+
+// TestMemBudgetRequiresDataDir pins the config validation: a budget
+// with nowhere to spill is a construction-time error, not a runtime
+// surprise.
+func TestMemBudgetRequiresDataDir(t *testing.T) {
+	if _, err := NewEngine(Config{MemBudget: 1}); err == nil {
+		t.Fatal("NewEngine accepted MemBudget without DataDir")
+	}
+}

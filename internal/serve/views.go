@@ -138,8 +138,11 @@ type EpochSummary struct {
 func (ep *Epoch) buildSummary() EpochSummary {
 	start, end := ep.Analysis.Span()
 	sealed, rows := 0, 0
+	// s.Len(), not s.Events.Len(): a sealed segment may have spilled its
+	// columns since this epoch was published, but its seal-time row
+	// count is immutable.
 	for _, s := range ep.Segments {
-		rows += s.Events.Len()
+		rows += s.Len()
 		if s.Sealed() {
 			sealed++
 		}

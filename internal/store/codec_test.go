@@ -1,0 +1,244 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+// updateGolden regenerates testdata/store/golden_v1.seg; run
+//
+//	go test ./internal/store -run TestSegmentGolden -update
+//
+// ONLY together with a SegmentFormatVersion bump (see that constant).
+var updateGolden = flag.Bool("update", false, "rewrite the golden segment file")
+
+// goldenSegment is the fixed segment the format-compatibility gate
+// pins: a handful of rows exercising repeated local IDs, time ties and
+// several severity/component values. Never change it — a different
+// golden is a different format test.
+func goldenSegment() *SegmentData {
+	d := &SegmentData{
+		Seq:      7,
+		MinTime:  1_000_000_000,
+		MaxTime:  5_000_000_000,
+		SevBits:  1<<6 | 1<<5,
+		CompBits: 1<<1 | 1<<3,
+		Codes:    []string{"_bgp_err_ddr_fatal", "_bgp_err_cns_storm", "_bgp_unit_test_code"},
+		Locs:     []string{"R00-M0-N04-J12", "R01-M1-N08"},
+	}
+	rows := []struct {
+		rec, t    int64
+		code, loc int32
+		comp, sev int32
+	}{
+		{101, 1_000_000_000, 0, 0, 1, 6},
+		{102, 2_000_000_000, 1, 0, 3, 5},
+		{103, 2_000_000_000, 0, 1, 1, 6},
+		{105, 2_000_000_000, 1, 1, 3, 6},
+		{104, 3_500_000_000, 2, 0, 1, 5},
+		{106, 5_000_000_000, 0, 0, 1, 6},
+	}
+	for _, r := range rows {
+		d.Events.Append(r.rec, r.t, symtab.ErrcodeID(r.code), symtab.LocationID(r.loc), r.comp, r.sev)
+	}
+	return d
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	d := goldenSegment()
+	enc, err := AppendSegment(nil, d)
+	if err != nil {
+		t.Fatalf("AppendSegment: %v", err)
+	}
+	got, err := ReadSegment(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("ReadSegment: %v", err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("decode mismatch:\ngot  %+v\nwant %+v", got, d)
+	}
+	re, err := AppendSegment(nil, got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(re, enc) {
+		t.Fatalf("decode→encode is not byte-identity (%d vs %d bytes)", len(re), len(enc))
+	}
+
+	// Trailing bytes after the segment are not consumed and not an
+	// error: a reader of a framed stream stops at the segment boundary.
+	got2, err := ReadSegment(bytes.NewReader(append(append([]byte(nil), enc...), "garbage"...)))
+	if err != nil {
+		t.Fatalf("ReadSegment with trailing bytes: %v", err)
+	}
+	if !reflect.DeepEqual(got2, d) {
+		t.Fatal("decode with trailing bytes mismatch")
+	}
+}
+
+func TestSegmentEmptyRoundTrip(t *testing.T) {
+	d := &SegmentData{Seq: 0}
+	enc, err := AppendSegment(nil, d)
+	if err != nil {
+		t.Fatalf("AppendSegment(empty): %v", err)
+	}
+	got, err := ReadSegment(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("ReadSegment(empty): %v", err)
+	}
+	if got.Events.Len() != 0 || len(got.Codes) != 0 || len(got.Locs) != 0 {
+		t.Fatalf("empty segment decoded to %+v", got)
+	}
+}
+
+func TestSegmentEncodeRejectsNonCanonical(t *testing.T) {
+	cases := map[string]func(*SegmentData){
+		"unsorted rows": func(d *SegmentData) {
+			d.Events.Time[0], d.Events.Time[1] = d.Events.Time[1], d.Events.Time[0]
+		},
+		"recid order broken on time tie": func(d *SegmentData) {
+			d.Events.RecID[2], d.Events.RecID[3] = d.Events.RecID[3], d.Events.RecID[2]
+		},
+		"non-first-seen local code": func(d *SegmentData) {
+			d.Events.Code[0] = 1
+			d.Events.Code[1] = 0
+		},
+		"unused vocabulary entry": func(d *SegmentData) {
+			d.Codes = append(d.Codes, "never_referenced")
+		},
+		"zone time bounds drift": func(d *SegmentData) { d.MaxTime++ },
+		"zone bitmap drift":      func(d *SegmentData) { d.SevBits |= 1 << 9 },
+		"severity out of range":  func(d *SegmentData) { d.Events.Sev[0] = 64 },
+		"ragged columns":         func(d *SegmentData) { d.Events.Sev = d.Events.Sev[:3] },
+		"negative seq":           func(d *SegmentData) { d.Seq = -1 },
+	}
+	for name, mutate := range cases {
+		d := goldenSegment()
+		mutate(d)
+		if _, err := AppendSegment(nil, d); err == nil {
+			t.Errorf("%s: encode accepted a non-canonical segment", name)
+		} else {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Errorf("%s: error %v is not a *FormatError", name, err)
+			}
+		}
+	}
+}
+
+// TestSegmentDecodeCorruption flips every byte of a valid encoding (and
+// truncates at every length) and requires a structured *FormatError —
+// never a panic, never a silent success.
+func TestSegmentDecodeCorruption(t *testing.T) {
+	enc, err := AppendSegment(nil, goldenSegment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(enc); i++ {
+		b := append([]byte(nil), enc...)
+		b[i] ^= 0x5a
+		if _, err := ReadSegment(bytes.NewReader(b)); err == nil {
+			t.Fatalf("flip at byte %d decoded successfully", i)
+		} else {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("flip at byte %d: error %v is not a *FormatError", i, err)
+			}
+		}
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := ReadSegment(bytes.NewReader(enc[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		} else {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("truncation to %d: error %v is not a *FormatError", n, err)
+			}
+		}
+	}
+}
+
+func TestSegmentVersionMismatch(t *testing.T) {
+	enc, err := AppendSegment(nil, goldenSegment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A future format would carry a different magic digit; today's
+	// reader must identify it as a version problem, not random garbage.
+	bumped := append([]byte(nil), enc...)
+	bumped[6] = '2' // "BGPSEG2\n"
+	_, err = ReadSegment(bytes.NewReader(bumped))
+	var fe *FormatError
+	if !errors.As(err, &fe) || fe.Section != "version" {
+		t.Fatalf("future-magic decode: got %v, want a version FormatError", err)
+	}
+}
+
+func TestCommitSegment(t *testing.T) {
+	dir := t.TempDir()
+	d := goldenSegment()
+	path := filepath.Join(dir, SegmentFileName(d.Seq))
+	if err := CommitSegment(path, d); err != nil {
+		t.Fatalf("CommitSegment: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	sf, err := OpenSegment(path)
+	if err != nil {
+		t.Fatalf("OpenSegment: %v", err)
+	}
+	defer sf.Close()
+	if sf.Rows() != d.Events.Len() || sf.Seq() != d.Seq {
+		t.Fatalf("opened segment: rows=%d seq=%d, want %d/%d", sf.Rows(), sf.Seq(), d.Events.Len(), d.Seq)
+	}
+	// Committing on top of an existing file replaces it atomically.
+	if err := CommitSegment(path, d); err != nil {
+		t.Fatalf("CommitSegment overwrite: %v", err)
+	}
+}
+
+// TestSegmentGolden is the format-compatibility gate: the committed
+// golden file must keep decoding, and today's writer must reproduce it
+// byte for byte. If this fails after an intentional layout change, bump
+// SegmentFormatVersion (and the magic digit) and regenerate with
+// -update; if the change was unintentional, fix the codec.
+func TestSegmentGolden(t *testing.T) {
+	golden := filepath.Join("..", "..", "testdata", "store", "golden_v1.seg")
+	d := goldenSegment()
+	enc, err := AppendSegment(nil, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden segment: %v (run with -update to create it)", err)
+	}
+	got, err := ReadSegment(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("today's reader cannot open the committed v%d golden segment: %v — bump SegmentFormatVersion and regenerate the golden instead of changing the layout in place",
+			SegmentFormatVersion, err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("golden segment decodes differently than when it was written — bump SegmentFormatVersion and regenerate the golden instead of changing the layout in place")
+	}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("today's writer does not reproduce the v%d golden bytes (%d vs %d bytes) — the on-disk format drifted; bump SegmentFormatVersion (and the magic digit) and regenerate with -update",
+			SegmentFormatVersion, len(enc), len(want))
+	}
+}

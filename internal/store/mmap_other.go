@@ -1,0 +1,17 @@
+//go:build !linux
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("store: mmap not supported on this platform")
+
+// mmapFile always fails on platforms without a wired-up mmap; readers
+// fall back to buffered sequential column reads.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) { return nil, errNoMmap }
+
+// munmapFile is unreachable when mmapFile never succeeds.
+func munmapFile(_ []byte) error { return nil }

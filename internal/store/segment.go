@@ -29,10 +29,45 @@ type Segment struct {
 	// both are zero while the segment is empty.
 	MinTime, MaxTime int64
 	sealed           bool
+
+	// rows is the row count frozen at seal time. Len reads it instead
+	// of the columns so that published epochs sharing this segment by
+	// pointer keep reporting the right count after a spill drops the
+	// columns: rows is written once, before the segment is ever shared.
+	rows int
+
+	// sevBits and compBits accumulate the severity/component zone
+	// bitmaps on append (all enum values are < 64).
+	sevBits, compBits uint64
+	// zoneCodes and zoneLocs are the global-ID zone sets, built at seal
+	// time; nil while the segment is active.
+	zoneCodes *Set[symtab.ErrcodeID]
+	zoneLocs  *Set[symtab.LocationID]
+
+	// spilled segments have committed their rows to path and dropped
+	// their columns; only the zone state above stays resident.
+	spilled bool
+	path    string
 }
 
 // Sealed reports whether the segment will never change again.
 func (s *Segment) Sealed() bool { return s.sealed }
+
+// Len returns the segment's row count. For sealed segments it reads
+// the count frozen at seal time, which stays correct — and race-free
+// for concurrent epoch readers — after a spill drops the columns.
+func (s *Segment) Len() int {
+	if s.sealed {
+		return s.rows
+	}
+	return s.Events.Len()
+}
+
+// Spilled reports whether the segment's columns live on disk only.
+func (s *Segment) Spilled() bool { return s.spilled }
+
+// SpillPath returns the segment file path of a spilled segment, or "".
+func (s *Segment) SpillPath() string { return s.path }
 
 // AppendRow adds one row and maintains the time-zone bounds. It is the
 // building block both for SegmentSet.Append and for recovery, which
@@ -49,7 +84,28 @@ func (s *Segment) AppendRow(recID, timeNS int64, code symtab.ErrcodeID, loc symt
 	if timeNS > s.MaxTime {
 		s.MaxTime = timeNS
 	}
+	if comp >= 0 && comp < 64 {
+		s.compBits |= 1 << uint(comp)
+	}
+	if sev >= 0 && sev < 64 {
+		s.sevBits |= 1 << uint(sev)
+	}
 	s.Events.Append(recID, timeNS, code, loc, comp, sev)
+}
+
+// seal freezes the row count and builds the global-ID zone sets; it is
+// the common tail of Seal and Restore and must run before the segment
+// is shared.
+func (s *Segment) seal() {
+	s.sealed = true
+	s.clip()
+	s.rows = s.Events.Len()
+	s.zoneCodes = NewSet[symtab.ErrcodeID](0)
+	s.zoneLocs = NewSet[symtab.LocationID](0)
+	for i := 0; i < s.rows; i++ {
+		s.zoneCodes.Add(s.Events.Code[i])
+		s.zoneLocs.Add(s.Events.Loc[i])
+	}
 }
 
 // SegmentSet is the writer-side collection: zero or more sealed
@@ -110,8 +166,7 @@ func (ss *SegmentSet) Seal() *Segment {
 	if s == nil || s.Events.Len() == 0 {
 		return nil
 	}
-	s.sealed = true
-	s.clip()
+	s.seal()
 	ss.sealed = append(ss.sealed, s)
 	ss.active = nil
 	return s
@@ -127,7 +182,8 @@ func (ss *SegmentSet) SealEmpty() *Segment {
 	if s := ss.Seal(); s != nil {
 		return s
 	}
-	s := &Segment{Seq: len(ss.sealed), sealed: true}
+	s := &Segment{Seq: len(ss.sealed)}
+	s.seal()
 	ss.sealed = append(ss.sealed, s)
 	return s
 }
@@ -135,9 +191,8 @@ func (ss *SegmentSet) SealEmpty() *Segment {
 // Restore re-attaches an already-sealed segment during recovery.
 // Segments must be restored in Seq order before any Append.
 func (ss *SegmentSet) Restore(s *Segment) {
-	s.sealed = true
-	s.clip()
 	s.Seq = len(ss.sealed)
+	s.seal()
 	ss.sealed = append(ss.sealed, s)
 }
 

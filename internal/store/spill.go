@@ -1,0 +1,237 @@
+package store
+
+// Spill side of the segmented store: a sealed resident segment can
+// localize itself into the on-disk form (Data), commit it, and drop its
+// columns, keeping only the header-sized zone state — row count, time
+// bounds, severity/component bitmaps and global-ID code/location sets —
+// resident. Scans consult that zone state first, so a spilled segment
+// is reopened only when the predicate leaves room for a match.
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/symtab"
+)
+
+// Data localizes a sealed segment into its on-disk form: local code and
+// location IDs assigned in first-seen row order, names resolved through
+// the caller's global table. This is the per-segment symtab delta — the
+// segment file carries exactly the vocabulary its rows use.
+func (s *Segment) Data(codeName func(symtab.ErrcodeID) string, locName func(symtab.LocationID) string) (*SegmentData, error) {
+	if !s.sealed {
+		return nil, fmt.Errorf("store: Data on an unsealed segment")
+	}
+	if s.spilled {
+		return nil, fmt.Errorf("store: Data on a spilled segment (columns are on disk)")
+	}
+	n := s.Events.Len()
+	d := &SegmentData{
+		Seq:      s.Seq,
+		MinTime:  s.MinTime,
+		MaxTime:  s.MaxTime,
+		SevBits:  s.sevBits,
+		CompBits: s.compBits,
+		Events:   *NewEvents(n),
+	}
+	codeMap := make(map[symtab.ErrcodeID]symtab.ErrcodeID, 16)
+	locMap := make(map[symtab.LocationID]symtab.LocationID, 16)
+	for i := 0; i < n; i++ {
+		gc, gl := s.Events.Code[i], s.Events.Loc[i]
+		lc, ok := codeMap[gc]
+		if !ok {
+			lc = symtab.ErrcodeID(len(d.Codes))
+			codeMap[gc] = lc
+			d.Codes = append(d.Codes, codeName(gc))
+		}
+		ll, ok := locMap[gl]
+		if !ok {
+			ll = symtab.LocationID(len(d.Locs))
+			locMap[gl] = ll
+			d.Locs = append(d.Locs, locName(gl))
+		}
+		d.Events.Append(s.Events.RecID[i], s.Events.Time[i], lc, ll, s.Events.Comp[i], s.Events.Sev[i])
+	}
+	return d, nil
+}
+
+// release marks the segment spilled to path and drops its columns. The
+// zone state and the seal-time row count stay resident, so Len and the
+// pushdown checks keep working without the file.
+func (s *Segment) release(path string) {
+	s.spilled = true
+	s.path = path
+	s.Events = Events{}
+}
+
+// admits is the resident zone check, the in-memory counterpart of
+// ZoneMap.Admits: global IDs for the query's code/location filters are
+// resolved through tab without interning. A nil zone set (the active
+// segment) cannot refute its predicate.
+func (s *Segment) admits(q Query, tab *symtab.Table) bool {
+	if s.Len() == 0 {
+		return false
+	}
+	if q.MinTimeNS != 0 && s.MaxTime < q.MinTimeNS {
+		return false
+	}
+	if q.MaxTimeNS != 0 && s.MinTime > q.MaxTimeNS {
+		return false
+	}
+	if q.SevMask != 0 && s.sevBits&q.SevMask == 0 {
+		return false
+	}
+	if q.Code != "" {
+		id, ok := tab.Errcodes.Lookup(q.Code)
+		if !ok {
+			return false
+		}
+		if s.zoneCodes != nil && !s.zoneCodes.Has(id) {
+			return false
+		}
+	}
+	if q.Loc != "" {
+		id, ok := tab.Locations.Lookup(q.Loc)
+		if !ok {
+			return false
+		}
+		if s.zoneLocs != nil && !s.zoneLocs.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanResident visits the segment's in-memory rows matching q in row
+// order, resolving names through tab.
+func (s *Segment) scanResident(q Query, tab *symtab.Table, visit func(Row) error) (int64, error) {
+	codeID, locID := symtab.NoErrcode, symtab.NoLocation
+	if q.Code != "" {
+		codeID, _ = tab.Errcodes.Lookup(q.Code)
+	}
+	if q.Loc != "" {
+		locID, _ = tab.Locations.Lookup(q.Loc)
+	}
+	var rows int64
+	e := &s.Events
+	for i := 0; i < e.Len(); i++ {
+		t := e.Time[i]
+		if q.MinTimeNS != 0 && t < q.MinTimeNS {
+			continue
+		}
+		if q.MaxTimeNS != 0 && t > q.MaxTimeNS {
+			continue
+		}
+		sev := e.Sev[i]
+		if q.SevMask != 0 && (sev < 0 || sev > 63 || q.SevMask&(1<<uint(sev)) == 0) {
+			continue
+		}
+		if q.Code != "" && e.Code[i] != codeID {
+			continue
+		}
+		if q.Loc != "" && e.Loc[i] != locID {
+			continue
+		}
+		rows++
+		err := visit(Row{
+			RecID:  e.RecID[i],
+			TimeNS: t,
+			Code:   tab.Errcodes.Name(e.Code[i]),
+			Loc:    tab.Locations.Name(e.Loc[i]),
+			Comp:   e.Comp[i],
+			Sev:    sev,
+		})
+		if err != nil {
+			return rows, err
+		}
+	}
+	return rows, nil
+}
+
+// ResidentBytes returns the column payload currently held in memory, in
+// on-disk row units (RowBytes per row): the currency of the spill
+// budget.
+func (ss *SegmentSet) ResidentBytes() int64 {
+	var n int64
+	for _, s := range ss.sealed {
+		if !s.spilled {
+			n += int64(s.Len()) * RowBytes
+		}
+	}
+	if ss.active != nil {
+		n += int64(ss.active.Events.Len()) * RowBytes
+	}
+	return n
+}
+
+// SpillOver commits resident sealed segments to dir, oldest first,
+// until the resident column payload fits within budget bytes, and
+// reports how many segments were spilled. Each spill is a full
+// temp+fsync+rename commit (CommitSegment) before the columns are
+// dropped, so a crash mid-spill leaves either the old file or the new
+// one, never a torn segment.
+func (ss *SegmentSet) SpillOver(budget int64, dir string, codeName func(symtab.ErrcodeID) string, locName func(symtab.LocationID) string) (int, error) {
+	spilled := 0
+	for _, s := range ss.sealed {
+		if ss.ResidentBytes() <= budget {
+			break
+		}
+		if s.spilled || s.Len() == 0 {
+			continue
+		}
+		d, err := s.Data(codeName, locName)
+		if err != nil {
+			return spilled, err
+		}
+		path := filepath.Join(dir, SegmentFileName(s.Seq))
+		if err := CommitSegment(path, d); err != nil {
+			return spilled, err
+		}
+		s.release(path)
+		spilled++
+	}
+	return spilled, nil
+}
+
+// Scan visits every row matching q across the whole set — sealed
+// segments in sequence order, then the active segment — which is
+// (Time, RecID) order, since the writer appends in time order. Zone
+// state refutes segments without touching their columns; spilled
+// segments that survive the zone check are reopened through the
+// zone-map-filtered reader on demand.
+func (ss *SegmentSet) Scan(q Query, tab *symtab.Table, visit func(Row) error) (ScanStats, error) {
+	var stats ScanStats
+	segs := make([]*Segment, 0, len(ss.sealed)+1)
+	segs = append(segs, ss.sealed...)
+	if ss.active != nil {
+		segs = append(segs, ss.active)
+	}
+	for _, s := range segs {
+		stats.Segments++
+		if !s.admits(q, tab) {
+			stats.Skipped++
+			continue
+		}
+		stats.Scanned++
+		var rows int64
+		var err error
+		if s.spilled {
+			var sf *SegmentFile
+			sf, err = OpenSegment(s.path)
+			if err != nil {
+				return stats, err
+			}
+			rows, err = sf.Scan(q, visit)
+			if cerr := sf.Close(); err == nil {
+				err = cerr
+			}
+		} else {
+			rows, err = s.scanResident(q, tab, visit)
+		}
+		stats.Rows += rows
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

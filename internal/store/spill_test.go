@@ -1,0 +1,129 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+// fillSet appends named rows through a global table, mirroring how the
+// serving layer feeds a SegmentSet.
+func fillSet(ss *SegmentSet, tab *symtab.Table, rows []testRow) {
+	for _, r := range rows {
+		code := tab.Errcodes.Intern(r.code)
+		loc := tab.Locations.Intern(r.loc)
+		ss.Append(r.recID, r.timeNS, code, loc, r.comp, r.sev)
+	}
+}
+
+// scanAll drains SegmentSet.Scan into a slice.
+func scanAll(t *testing.T, ss *SegmentSet, tab *symtab.Table, q Query) ([]Row, ScanStats) {
+	t.Helper()
+	var out []Row
+	stats, err := ss.Scan(q, tab, func(r Row) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return out, stats
+}
+
+// TestSpillScanEquivalence seals rows into segments, scans, spills
+// everything past a tiny budget, and requires the same scan results
+// from the mixed resident/spilled set — including zone skips for
+// predicates the spilled segments cannot match.
+func TestSpillScanEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := sortRows(randomRows(rng, 500))
+	tab := symtab.NewTable()
+	ss := &SegmentSet{SealRows: 64}
+	fillSet(ss, tab, rows)
+
+	queries := []Query{
+		{},
+		{SevMask: 1 << 6},
+		{MinTimeNS: rows[len(rows)/3].timeNS, MaxTimeNS: rows[2*len(rows)/3].timeNS},
+		{Code: rows[0].code},
+		{Loc: rows[1].loc},
+		{Code: "absent"},
+	}
+	before := make([][]Row, len(queries))
+	for i, q := range queries {
+		before[i], _ = scanAll(t, ss, tab, q)
+	}
+
+	dir := t.TempDir()
+	resident := ss.ResidentBytes()
+	n, err := ss.SpillOver(resident/4, dir, tab.Errcodes.Name, tab.Locations.Name)
+	if err != nil {
+		t.Fatalf("SpillOver: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("nothing spilled under a quarter budget")
+	}
+	if got := ss.ResidentBytes(); got > resident/4 {
+		t.Fatalf("resident %d bytes after spill, budget %d", got, resident/4)
+	}
+	spilled := 0
+	for _, s := range ss.Sealed() {
+		if s.Spilled() {
+			spilled++
+			if s.Events.Len() != 0 {
+				t.Fatal("spilled segment kept its columns")
+			}
+			if s.Len() == 0 {
+				t.Fatal("spilled segment lost its row count")
+			}
+			if s.SpillPath() == "" {
+				t.Fatal("spilled segment has no path")
+			}
+		}
+	}
+	if spilled != n {
+		t.Fatalf("%d segments report spilled, SpillOver returned %d", spilled, n)
+	}
+
+	for i, q := range queries {
+		after, stats := scanAll(t, ss, tab, q)
+		if len(after) != len(before[i]) {
+			t.Fatalf("query %d: %d rows after spill, %d before", i, len(after), len(before[i]))
+		}
+		for j := range after {
+			if after[j] != before[i][j] {
+				t.Fatalf("query %d row %d: %+v after spill, %+v before", i, j, after[j], before[i][j])
+			}
+		}
+		if q.Code == "absent" && stats.Skipped != stats.Segments {
+			t.Fatalf("absent-code query scanned %d segments", stats.Scanned)
+		}
+	}
+
+	// Spilling again under the same budget is a no-op.
+	if n, err := ss.SpillOver(resident/4, dir, tab.Errcodes.Name, tab.Locations.Name); err != nil || n != 0 {
+		t.Fatalf("second SpillOver = %d, %v", n, err)
+	}
+}
+
+func TestSpillRequiresSealed(t *testing.T) {
+	ss := &SegmentSet{SealRows: 8}
+	tab := symtab.NewTable()
+	fillSet(ss, tab, []testRow{{1, 100, "a", "L", 1, 6}})
+	if _, err := ss.active.Data(tab.Errcodes.Name, tab.Locations.Name); err == nil {
+		t.Fatal("Data on an unsealed segment succeeded")
+	}
+	ss.Seal()
+	d, err := ss.Sealed()[0].Data(tab.Errcodes.Name, tab.Locations.Name)
+	if err != nil {
+		t.Fatalf("Data: %v", err)
+	}
+	if len(d.Codes) != 1 || d.Codes[0] != "a" || d.Events.Code[0] != 0 {
+		t.Fatalf("localized segment %+v", d)
+	}
+	ss.Sealed()[0].release("x.seg")
+	if _, err := ss.Sealed()[0].Data(tab.Errcodes.Name, tab.Locations.Name); err == nil {
+		t.Fatal("Data on a spilled segment succeeded")
+	}
+}

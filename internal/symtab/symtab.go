@@ -82,6 +82,13 @@ func (d *Dict[T]) Name(id T) string { return d.names[id] }
 // exactly 0..Len()-1.
 func (d *Dict[T]) Len() int { return len(d.names) }
 
+// Names returns the interned names in ID order (Names()[id] ==
+// Name(id)). The slice is clipped (cap == len), so an append by the
+// caller reallocates instead of aliasing the dictionary's backing
+// array; the strings themselves are shared. The segmented store uses
+// this to emit a segment's local vocabulary as its symtab delta.
+func (d *Dict[T]) Names() []string { return d.names[:len(d.names):len(d.names)] }
+
 // Int64Dict is Dict for int64-keyed vocabularies (scheduler job
 // sequence numbers).
 type Int64Dict[T ~int32] struct {

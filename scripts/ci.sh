@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 # comment used to be the only enforcement. CI_STEPS is the set of make
 # check steps this script implements — if the Makefile's check recipe
 # gains or loses a step without this script following, fail loudly.
-CI_STEPS="build vet lint test race smoke"
+CI_STEPS="build vet lint test race smoke membound"
 MAKE_STEPS=$(sed -n 's/^check:[[:space:]]*//p' Makefile)
 echo "== drift check (ci.sh vs make check)"
 for s in $MAKE_STEPS; do
@@ -54,6 +54,20 @@ if [ "$MAKE_BENCH_PKGS" != "$TOOL_BENCH_PKGS" ]; then
 	echo "ci.sh drift: Makefile BENCH_PKGS and cmd/bgpbench benchPackages disagree:" >&2
 	echo "  Makefile:  $(echo $MAKE_BENCH_PKGS)" >&2
 	echo "  bgpbench:  $(echo $TOOL_BENCH_PKGS)" >&2
+	exit 1
+fi
+
+# The membound gate is one script spelled in three places: the Makefile
+# membound target, the standalone CI membound job, and this script's
+# own invocation below. If the Makefile target points elsewhere (or the
+# workflow drops the job), fail loudly.
+MEMBOUND_SCRIPT=$(sed -n '/^membound:/{n;s/^[[:space:]]*//p;}' Makefile | awk '{print $1}')
+if [ "$MEMBOUND_SCRIPT" != "./scripts/membound.sh" ]; then
+	echo "ci.sh drift: 'make membound' runs '$MEMBOUND_SCRIPT' but ci.sh runs ./scripts/membound.sh" >&2
+	exit 1
+fi
+if ! grep -q 'scripts/membound.sh' .github/workflows/ci.yml; then
+	echo "ci.sh drift: the CI workflow has no membound job running scripts/membound.sh" >&2
 	exit 1
 fi
 
@@ -108,6 +122,9 @@ GOMAXPROCS=$NP go test -race ./...
 echo "== bgpd smoke (end-to-end daemon golden diff)"
 ./scripts/smoke_bgpd.sh
 
+echo "== membound (bounded-memory spill/merge equivalence)"
+./scripts/membound.sh
+
 echo "== fuzz smoke (${FUZZTIME:=10s} per target)"
 go test ./internal/raslog -fuzz FuzzParseRecord -fuzztime "$FUZZTIME"
 go test ./internal/joblog -fuzz FuzzParseJob -fuzztime "$FUZZTIME"
@@ -121,5 +138,10 @@ go test ./internal/serve -fuzz FuzzIngestBatch -fuzztime "$FUZZTIME"
 # Durability-boundary fuzz: seal → persist → recover must reproduce the
 # sealed state exactly, and restored segments must reject appends.
 go test ./internal/serve -fuzz FuzzSegmentSealRestore -fuzztime "$FUZZTIME"
+# Segment-codec fuzz: arbitrary bytes must decode to a structured
+# *FormatError or to a segment whose re-encoding is the consumed
+# prefix — never a panic. The corpus accumulates in the same
+# ~/.cache/go-build/fuzz cache the workflow persists across runs.
+go test ./internal/store -fuzz FuzzSegmentCodec -fuzztime "$FUZZTIME"
 
 echo "CI OK"

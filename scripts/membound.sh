@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Bounded-memory equivalence gate: generate a multi-campaign log well
+# past the smoke campaign's scale, analyze it twice — unconstrained,
+# then under GOMEMLIMIT plus a ulimit backstop with a -mem-budget far
+# smaller than the event payload — and require (a) the bounded run
+# actually spilled and actually skipped noise-only runs via zone maps,
+# and (b) the two stdout renders are byte-identical.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== build"
+go build -o "$tmp/bgpgen" ./cmd/bgpgen
+go build -o "$tmp/coanalyze" ./cmd/coanalyze
+
+# Two generated campaigns concatenated into one log pair, ~10x the
+# smoke campaign (seed 4, 10 days): distinct seeds so the vocabularies
+# only partly overlap and the global symtab remap does real work.
+echo "== generate multi-campaign logs"
+"$tmp/bgpgen" -seed 4 -days 60 -noise 0.5 -ras "$tmp/ras1.log" -job "$tmp/job1.log"
+"$tmp/bgpgen" -seed 11 -days 45 -noise 0.5 -ras "$tmp/ras2.log" -job "$tmp/job2.log"
+cat "$tmp/ras1.log" "$tmp/ras2.log" >"$tmp/ras.log"
+cat "$tmp/job1.log" "$tmp/job2.log" >"$tmp/job.log"
+payload=$(wc -c <"$tmp/ras.log")
+budget=$((payload / 10))
+echo "   RAS payload $payload bytes, -mem-budget $budget"
+
+# /usr/bin/time -v reports peak RSS when available (GNU time is not
+# installed everywhere); the gate itself never depends on it.
+mem() {
+	if [ -x /usr/bin/time ] && /usr/bin/time -v true 2>/dev/null; then
+		/usr/bin/time -v "$@"
+	else
+		"$@"
+	fi
+}
+
+echo "== unconstrained run"
+mem "$tmp/coanalyze" -ras "$tmp/ras.log" -job "$tmp/job.log" \
+	>"$tmp/batch.out" 2>"$tmp/batch.err" || { cat "$tmp/batch.err" >&2; exit 1; }
+
+echo "== bounded run (GOMEMLIMIT=128MiB, ulimit -v 4GiB, -mem-budget $budget)"
+(
+	# The address-space backstop is deliberately loose: the Go runtime
+	# reserves large virtual areas up front, and mmap'd segment files
+	# count toward -v. GOMEMLIMIT is the real heap bound; ulimit only
+	# catches a runaway.
+	ulimit -v 4194304
+	GOMEMLIMIT=128MiB mem "$tmp/coanalyze" -ras "$tmp/ras.log" -job "$tmp/job.log" \
+		-mem-budget "$budget" -spill-dir "$tmp/spill" \
+		>"$tmp/bounded.out" 2>"$tmp/bounded.err"
+) || { cat "$tmp/bounded.err" >&2; exit 1; }
+
+for log in batch.err bounded.err; do
+	rss=$(sed -n 's/.*Maximum resident set size (kbytes): //p' "$tmp/$log")
+	[ -n "$rss" ] && echo "   ${log%.err} peak RSS: ${rss} kB"
+done
+
+status=0
+flushes=$(sed -n 's/.*budget_flushes=\([0-9]*\).*/\1/p' "$tmp/bounded.err")
+skipped=$(sed -n 's/.*zone_skipped=\([0-9]*\).*/\1/p' "$tmp/bounded.err")
+if [ -z "$flushes" ] || [ "$flushes" -lt 1 ]; then
+	echo "membound: budget $budget forced no spill flush (budget_flushes=${flushes:-missing}):" >&2
+	cat "$tmp/bounded.err" >&2
+	status=1
+fi
+if [ -z "$skipped" ] || [ "$skipped" -lt 1 ]; then
+	echo "membound: merge skipped no segment via zone maps (zone_skipped=${skipped:-missing}):" >&2
+	cat "$tmp/bounded.err" >&2
+	status=1
+fi
+if ! cmp -s "$tmp/batch.out" "$tmp/bounded.out"; then
+	echo "membound: bounded output diverges from the unconstrained run:" >&2
+	diff -u "$tmp/batch.out" "$tmp/bounded.out" | head -40 >&2
+	status=1
+fi
+
+if [ "$status" = 0 ]; then
+	echo "membound OK: $flushes budget flushes, $skipped zone-skipped runs, output byte-identical"
+fi
+exit "$status"

@@ -26,8 +26,9 @@ go build -o "$tmp/bgpd" ./cmd/bgpd
 echo "== generate sample campaign"
 "$tmp/bgpgen" -seed 4 -days 10 -noise 0.5 -ras "$tmp/ras.log" -job "$tmp/job.log"
 
-echo "== start bgpd"
+echo "== start bgpd (spilling: tiny -mem-budget so queries serve from segment files)"
 "$tmp/bgpd" -addr 127.0.0.1:0 -ras "$tmp/ras.log" -job "$tmp/job.log" \
+	-data "$tmp/data" -mem-budget 4096 \
 	-publish-every 1h >"$tmp/stdout.log" 2>"$tmp/stderr.log" &
 pid=$!
 for _ in $(seq 1 100); do
@@ -41,12 +42,15 @@ base="http://$addr"
 
 echo "== quiesce and query $base"
 curl -fsS -X POST "$base/v1/quiesce" >/dev/null
-names="epoch query_rates query_mtbf query_interruptions query_vulnerability report_t1 report_obs1 healthz"
+names="epoch query_rates query_mtbf query_interruptions query_vulnerability report_t1 report_obs1 scan healthz"
 fetch() {
 	case $1 in
 	epoch) curl -fsS "$base/v1/epoch" ;;
 	query_*) curl -fsS "$base/v1/query/${1#query_}" ;;
 	report_*) curl -fsS "$base/v1/report/${1#report_}" ;;
+	# Whole-history window profile: with the tiny budget above this is
+	# answered from spilled segment files through the zone-map reader.
+	scan) curl -fsS "$base/v1/scan" ;;
 	healthz) curl -fsS "$base/healthz" ;;
 	esac
 }
