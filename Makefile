@@ -55,9 +55,11 @@ check: build vet lint test race smoke membound
 # them after an intentional output change.
 smoke:
 	./scripts/smoke_bgpd.sh
+	./scripts/smoke_policies.sh
 
 smoke-golden:
 	./scripts/smoke_bgpd.sh -update
+	./scripts/smoke_policies.sh -update
 
 # Bounded-memory equivalence gate: coanalyze a multi-campaign log under
 # GOMEMLIMIT with a -mem-budget far below the event payload (forcing
@@ -92,10 +94,10 @@ bench:
 
 # Regenerate the committed benchmark baseline the CI `bench` job gates
 # against (fixed -benchtime/-count so reports stay diffable). Like
-# lint-baseline, review the BENCH_PR9.json diff like code — a looser
+# lint-baseline, review the BENCH_PR10.json diff like code — a looser
 # baseline is a perf regression being waved through.
 bench-baseline:
-	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR9.json
+	$(GO) run ./cmd/bgpbench run -count 5 -benchtime 2000x -out BENCH_PR10.json
 
 # Compiler escape-analysis budget gate: rebuild the hot packages with
 # -gcflags=-json and fail on new heap-escape sites, lost inlining, or

@@ -441,6 +441,34 @@ func BenchmarkAblationSchedulerPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedRun measures a small scheduler campaign under every
+// registered policy, so the gated baseline catches a slow counterfactual
+// (or a regression in the engine's policy dispatch) per policy.
+func BenchmarkSchedRun(b *testing.B) {
+	cat := errcat.Intrepid()
+	spec := workload.DefaultSpec(1, 1)
+	spec.Days = 2
+	spec.JobsPerDay = 60 // keep the per-op cost tractable for the gate
+	gen, err := workload.New(spec, cat.ByClass(errcat.ClassApplication))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := faultgen.DefaultModel(cat)
+	emitCfg := faultgen.DefaultEmitterConfig()
+	emitCfg.NoisePerFatal = 1
+	for _, policy := range sched.PolicyNames() {
+		b.Run(policy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sched.DefaultConfig(int64(i + 1))
+				cfg.Policy = policy
+				if _, err := sched.Run(cfg, gen, model, emitCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func newBenchRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
 
 // --- parallel-engine benches ---

@@ -1,14 +1,14 @@
 // Command bgpbench is the benchmark harness behind the CI perf gate:
 // it runs the named codec + pipeline + grouping benchmark subset with a
 // fixed -benchtime/-count, emits a machine-readable JSON report (schema
-// repro/bgpbench/v1, see BENCH_PR9.json at the repo root), and compares
+// repro/bgpbench/v1, see BENCH_PR10.json at the repo root), and compares
 // a fresh report against a committed baseline with a tolerance gate.
 //
 // Usage:
 //
-//	bgpbench run -out BENCH_PR9.json            # collect a report
+//	bgpbench run -out BENCH_PR10.json            # collect a report
 //	bgpbench run -count 5 -benchtime 2000x -out bench.json
-//	bgpbench compare -baseline BENCH_PR9.json -current bench.json
+//	bgpbench compare -baseline BENCH_PR10.json -current bench.json
 //
 // Exit codes: 0 pass (or comparison skipped on host mismatch),
 // 1 regression detected, 2 harness failure.
@@ -37,8 +37,10 @@ import (
 // speedup itself is regression-gated), the streaming pipeline, the
 // symtab-keyed grouping paths (the filter cascade against its
 // string-keyed legacy reference, and the co-analysis grouping stages),
-// the serving daemon's ingest and query paths, and the segmented
-// store's encode/scan/merge paths.
+// the serving daemon's ingest and query paths, the segmented store's
+// encode/scan/merge paths, and a small scheduler campaign per
+// registered policy (BenchmarkSchedRun expands into one sub-benchmark
+// per policy, so each counterfactual is gated individually).
 var benchSubset = []string{
 	"BenchmarkRASUnmarshal",
 	"BenchmarkRASUnmarshalFields",
@@ -58,6 +60,7 @@ var benchSubset = []string{
 	"BenchmarkSegmentEncode",
 	"BenchmarkSegmentScan",
 	"BenchmarkSegmentMerge",
+	"BenchmarkSchedRun",
 }
 
 // benchPackages are the packages the subset lives in.
@@ -164,7 +167,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bgpbench compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		basePath  = fs.String("baseline", "BENCH_PR9.json", "committed baseline report")
+		basePath  = fs.String("baseline", "BENCH_PR10.json", "committed baseline report")
 		curPath   = fs.String("current", "", "fresh report to gate (required)")
 		tolerance = fs.Float64("tolerance", 0.25, "allowed ns/op growth fraction")
 	)

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/sched"
 )
 
 const cannedOutput = `goos: linux
@@ -236,8 +238,11 @@ func TestRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != len(benchSubset) {
-		t.Errorf("report has %d benchmarks, want %d (%+v)", len(rep.Benchmarks), len(benchSubset), rep.Benchmarks)
+	// Every subset name yields one result entry, except BenchmarkSchedRun,
+	// which expands into one sub-benchmark per registered policy.
+	want := len(benchSubset) - 1 + len(sched.PolicyNames())
+	if len(rep.Benchmarks) != want {
+		t.Errorf("report has %d benchmarks, want %d (%+v)", len(rep.Benchmarks), want, rep.Benchmarks)
 	}
 	// Self-comparison must pass the gate.
 	regs := compareReports(rep, rep, 0.25)

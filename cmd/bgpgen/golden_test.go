@@ -1,0 +1,100 @@
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// -update regenerates the digest golden:
+//
+//	go test ./cmd/bgpgen -run TestPolicyMatrixDigests -update
+var update = flag.Bool("update", false, "rewrite the policy digest golden")
+
+const digestGolden = "testdata/policy_digests.txt"
+
+// digestParams are the campaign parameters the digest golden pins.
+// scripts/smoke_policies.sh parses them back out of the golden's
+// "# params:" header, so the script and this test can never drift.
+var digestParams = []string{"-seed", "4", "-days", "10", "-noise", "0.5"}
+
+// TestPolicyMatrixDigests pins a sha256 per policy log of a tiny
+// -policy-matrix campaign — the per-policy byte-identity contract for
+// the counterfactuals: any engine or policy change that shifts any
+// policy's matrix output must regenerate this file consciously. The
+// same file doubles as the smoke script's checksum manifest.
+func TestPolicyMatrixDigests(t *testing.T) {
+	dir := t.TempDir()
+	rasP := filepath.Join(dir, "ras.log")
+	jobP := filepath.Join(dir, "job.log")
+	var stderr strings.Builder
+	args := append(append([]string{}, digestParams...),
+		"-policy-matrix", "-workers", "1", "-ras", rasP, "-job", jobP)
+	if err := run(args, &stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# params: %s\n", strings.Join(digestParams, " "))
+	for _, name := range sched.PolicyNames() {
+		for _, base := range []string{"ras.log", "job.log"} {
+			p := withPolicy(filepath.Join(dir, base), name)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&b, "%x  %s\n", sha256.Sum256(data), filepath.Base(p))
+		}
+	}
+	got := b.String()
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(digestGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(digestGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", digestGolden)
+		return
+	}
+	want, err := os.ReadFile(digestGolden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("policy digests differ from %s:\ngot:\n%s\nwant:\n%s\n(run with -update if the change is intentional)",
+			digestGolden, got, want)
+	}
+
+	// The matrix must be worker-count independent: rerun in parallel
+	// and compare the digests again.
+	dir2 := t.TempDir()
+	args = append(append([]string{}, digestParams...),
+		"-policy-matrix", "-workers", "0",
+		"-ras", filepath.Join(dir2, "ras.log"), "-job", filepath.Join(dir2, "job.log"))
+	if err := run(args, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sched.PolicyNames() {
+		for _, base := range []string{"ras.log", "job.log"} {
+			a, err := os.ReadFile(withPolicy(filepath.Join(dir, base), name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := os.ReadFile(withPolicy(filepath.Join(dir2, base), name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sha256.Sum256(a) != sha256.Sum256(c) {
+				t.Errorf("policy %s %s differs between sequential and parallel matrix", name, base)
+			}
+		}
+	}
+}

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	bgpgen -seed 1 -days 237 -noise 62 -ras ras.log -job job.log
+//
+// The scheduling policy is selectable (-policy, default the paper's
+// Intrepid behaviour; -policies lists the registry). -policy-matrix
+// runs every registered policy against the identical workload and
+// pre-drawn ground-truth fault-candidate stream, writing one log pair
+// per policy (ras.log -> ras.<policy>.log).
 package main
 
 import (
@@ -12,7 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"repro/internal/sched"
 	"repro/internal/simulate"
 )
 
@@ -27,26 +36,80 @@ func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bgpgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		seed  = fs.Int64("seed", 1, "campaign seed (identical seeds give identical logs)")
-		days  = fs.Int("days", 237, "campaign length in days")
-		noise = fs.Float64("noise", 62, "non-fatal records emitted per fatal record")
-		rasP  = fs.String("ras", "ras.log", "RAS log output path")
-		jobP  = fs.String("job", "job.log", "job log output path")
+		seed    = fs.Int64("seed", 1, "campaign seed (identical seeds give identical logs)")
+		days    = fs.Int("days", 237, "campaign length in days")
+		noise   = fs.Float64("noise", 62, "non-fatal records emitted per fatal record")
+		rasP    = fs.String("ras", "ras.log", "RAS log output path")
+		jobP    = fs.String("job", "job.log", "job log output path")
+		policy  = fs.String("policy", "", "scheduling policy (empty = "+sched.DefaultPolicy+"; see -policies)")
+		matrix  = fs.Bool("policy-matrix", false, "run every registered policy on the identical workload and fault-candidate stream, writing per-policy log pairs")
+		list    = fs.Bool("policies", false, "list registered scheduling policies and exit")
+		workers = fs.Int("workers", 0, "matrix worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		for _, name := range sched.PolicyNames() {
+			fmt.Fprintln(stderr, name)
+		}
+		return nil
+	}
+	cfg := simulate.Config{Seed: *seed, Days: *days, NoisePerFatal: *noise, Policy: *policy}
+	if *matrix {
+		return runMatrix(cfg, *workers, *rasP, *jobP, stderr)
+	}
 
-	camp, err := simulate.Run(simulate.Config{Seed: *seed, Days: *days, NoisePerFatal: *noise})
+	camp, err := simulate.Run(cfg)
 	if err != nil {
 		return err
 	}
-	rf, err := os.Create(*rasP)
+	if err := writePair(camp, *rasP, *jobP); err != nil {
+		return err
+	}
+	distinct, resub := camp.Jobs.DistinctExecutables()
+	fmt.Fprintf(stderr,
+		"wrote %s (%d records, %d FATAL) and %s (%d jobs, %d distinct, %d resubmitted)\n",
+		*rasP, camp.RAS.Len(), len(camp.RAS.Fatal()), *jobP, camp.Jobs.Len(), distinct, resub)
+	return nil
+}
+
+// runMatrix writes one log pair per registered policy, with the policy
+// name spliced into the configured paths (ras.log -> ras.<policy>.log).
+func runMatrix(cfg simulate.Config, workers int, rasP, jobP string, stderr io.Writer) error {
+	if cfg.Policy != "" {
+		return fmt.Errorf("-policy and -policy-matrix are mutually exclusive")
+	}
+	runs, err := simulate.RunMatrix(cfg, workers)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		rp, jp := withPolicy(rasP, r.Policy), withPolicy(jobP, r.Policy)
+		if err := writePair(r.Campaign, rp, jp); err != nil {
+			return fmt.Errorf("policy %s: %w", r.Policy, err)
+		}
+		interrupted := len(r.Campaign.Result.Truth.InterruptedJobs())
+		fmt.Fprintf(stderr, "policy %-14s wrote %s and %s (%d jobs, %d interrupted, %d FATAL records)\n",
+			r.Policy, rp, jp, r.Campaign.Jobs.Len(), interrupted, len(r.Campaign.RAS.Fatal()))
+	}
+	return nil
+}
+
+// withPolicy splices the policy name into a log path before its
+// extension: ras.log -> ras.intrepid.log.
+func withPolicy(path, policy string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + policy + ext
+}
+
+func writePair(camp *simulate.Campaign, rasP, jobP string) error {
+	rf, err := os.Create(rasP)
 	if err != nil {
 		return err
 	}
 	defer rf.Close()
-	jf, err := os.Create(*jobP)
+	jf, err := os.Create(jobP)
 	if err != nil {
 		return err
 	}
@@ -57,12 +120,5 @@ func run(args []string, stderr io.Writer) error {
 	if err := rf.Close(); err != nil {
 		return err
 	}
-	if err := jf.Close(); err != nil {
-		return err
-	}
-	distinct, resub := camp.Jobs.DistinctExecutables()
-	fmt.Fprintf(stderr,
-		"wrote %s (%d records, %d FATAL) and %s (%d jobs, %d distinct, %d resubmitted)\n",
-		*rasP, camp.RAS.Len(), len(camp.RAS.Fatal()), *jobP, camp.Jobs.Len(), distinct, resub)
-	return nil
+	return jf.Close()
 }

@@ -10,6 +10,8 @@
 //	bgpreport -quick -seeds 8            # 8-seed ensemble: mean ± 95% CI
 //	bgpreport -parallelism 1             # force the sequential path
 //	bgpreport -ras ras.log -job job.log  # analyze external logs (streamed)
+//	bgpreport -quick -policy first-fit   # a counterfactual scheduling policy
+//	bgpreport -quick -policy-matrix      # every policy on the identical fault stream
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -40,6 +43,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallelism = fs.Int("parallelism", 0, "worker bound for all fan-outs (0 = GOMAXPROCS, 1 = sequential)")
 		rasP        = fs.String("ras", "", "analyze this RAS log instead of simulating (requires -job)")
 		jobP        = fs.String("job", "", "analyze this job log instead of simulating (requires -ras)")
+		policy      = fs.String("policy", "", "scheduling policy to simulate under (empty = "+sched.DefaultPolicy+"; see sched.PolicyNames)")
+		matrix      = fs.Bool("policy-matrix", false, "simulate every registered policy on the identical workload and fault-candidate stream and print per-policy reports plus the cross-policy comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +57,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg.Parallelism = *parallelism
 	cfg.Seeds = *seeds
+	cfg.Policy = *policy
+
+	if *matrix {
+		if *policy != "" {
+			return fmt.Errorf("-policy and -policy-matrix are mutually exclusive")
+		}
+		if *rasP != "" || *jobP != "" {
+			return fmt.Errorf("-policy-matrix simulates; it cannot analyze external logs")
+		}
+		return runPolicyMatrix(cfg, stdout)
+	}
 
 	if (*rasP == "") != (*jobP == "") {
 		return fmt.Errorf("-ras and -job must be given together")
@@ -91,6 +107,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	printSummary(stdout, rep.Summary())
 	return nil
+}
+
+// runPolicyMatrix simulates every registered policy against the
+// identical workload and pre-drawn fault-candidate stream, printing a
+// per-policy co-analysis fragment and the cross-policy comparison.
+func runPolicyMatrix(cfg repro.Config, stdout io.Writer) error {
+	outs, err := repro.RunMatrix(cfg)
+	if err != nil {
+		return err
+	}
+	for _, o := range outs {
+		s := o.Stats
+		fmt.Fprintf(stdout, "=== policy %s ===\n", o.Policy)
+		fmt.Fprintf(stdout, "  jobs:                      %d\n", s.Jobs)
+		fmt.Fprintf(stdout, "  interruptions:             %d (%d distinct jobs)\n", s.Interruptions, s.DistinctInterrupted)
+		fmt.Fprintf(stdout, "  system / app:              %d / %d\n", s.SystemInterruptions, s.AppInterruptions)
+		fmt.Fprintf(stdout, "  MTBF (filtered):           %.2f h\n", s.MTBFHours)
+		fmt.Fprintf(stdout, "  same-partition resubmits:  %.2f%%\n", 100*s.SamePartResub)
+		fmt.Fprintf(stdout, "  idle-fault fraction:       %.2f%%\n\n", 100*s.IdleFaultFraction)
+	}
+	return repro.RenderPolicyComparison(stdout, outs)
 }
 
 // loadLogs streams external log files through repro.Load (the sharded

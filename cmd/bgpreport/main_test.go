@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sched"
 	"repro/internal/simulate"
 )
 
@@ -116,5 +117,45 @@ func TestRunExternalLogs(t *testing.T) {
 		if simLines[i] != logLines[i] {
 			t.Errorf("summary line %d differs:\n sim: %s\nlogs: %s", i+1, simLines[i], logLines[i])
 		}
+	}
+}
+
+func TestRunPolicyFlag(t *testing.T) {
+	var def, ff, errOut bytes.Buffer
+	if err := run([]string{"-days", "14", "-summary"}, &def, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-days", "14", "-summary", "-policy", "first-fit"}, &ff, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if def.String() == ff.String() {
+		t.Error("first-fit summary identical to the default policy")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-days", "14", "-policy", "bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunPolicyMatrix(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-days", "14", "-policy-matrix"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Policy matrix:") {
+		t.Error("missing comparison table")
+	}
+	for _, name := range sched.PolicyNames() {
+		if !strings.Contains(s, "=== policy "+name+" ===") {
+			t.Errorf("missing per-policy fragment for %s", name)
+		}
+	}
+	var errBuf bytes.Buffer
+	if err := run([]string{"-policy-matrix", "-policy", "random"}, &out, &errBuf); err == nil {
+		t.Error("-policy with -policy-matrix accepted")
+	}
+	if err := run([]string{"-policy-matrix", "-ras", "x", "-job", "y"}, &out, &errBuf); err == nil {
+		t.Error("-policy-matrix with external logs accepted")
 	}
 }

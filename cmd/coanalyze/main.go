@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"repro"
+	"repro/internal/sched"
 )
 
 // artifacts is the registry shared with the serving layer; see
@@ -40,11 +42,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallelism = fs.Int("parallelism", 0, "worker bound for log decode and analysis fan-outs (0 = GOMAXPROCS, 1 = sequential)")
 		memBudget   = fs.Int64("mem-budget", 0, "bound the in-memory event payload to this many bytes, spilling sorted segment runs to disk and merging them back with zone-map pushdown; output is byte-identical to the unconstrained run (0 = analyze fully in memory)")
 		spillDir    = fs.String("spill-dir", "", "directory for -mem-budget segment runs (empty = a temp dir, removed on exit)")
+		matrix      = fs.Bool("policy-matrix", false, "co-analyze the per-policy log pairs a bgpgen -policy-matrix run wrote next to -ras/-job (ras.<policy>.log) and print the cross-policy comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *matrix {
+		return runPolicyMatrix(*rasP, *jobP, *parallelism, stdout)
+	}
 	if *memBudget > 0 {
 		return runMembound(*memBudget, *spillDir, *rasP, *jobP, *artifact, *parallelism, stdout, stderr)
 	}
@@ -75,6 +81,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown artifact %q; want all or one of %s", *artifact, keys())
 	}
 	return render(rep, stdout)
+}
+
+// runPolicyMatrix loads every per-policy log pair found next to the
+// base paths (as written by bgpgen -policy-matrix: ras.log ->
+// ras.<policy>.log), co-analyzes each, and prints the cross-policy
+// comparison. The oracle-only idle-fault column is zero here: external
+// logs carry no ground truth.
+func runPolicyMatrix(rasP, jobP string, parallelism int, stdout io.Writer) error {
+	cfg := repro.DefaultConfig(0)
+	cfg.Parallelism = parallelism
+	var outs []repro.PolicyOutcome
+	for _, name := range sched.PolicyNames() {
+		rp, jp := withPolicy(rasP, name), withPolicy(jobP, name)
+		if _, err := os.Stat(rp); os.IsNotExist(err) {
+			continue
+		}
+		rep, err := loadPair(cfg, rp, jp)
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", name, err)
+		}
+		outs = append(outs, repro.PolicyOutcome{Policy: name, Report: rep, Stats: rep.PolicyStats()})
+	}
+	if len(outs) == 0 {
+		return fmt.Errorf("no per-policy log pairs found next to %s (expected e.g. %s; run bgpgen -policy-matrix first)",
+			rasP, withPolicy(rasP, sched.DefaultPolicy))
+	}
+	return repro.RenderPolicyComparison(stdout, outs)
+}
+
+// withPolicy splices a policy name into a log path before its
+// extension, mirroring bgpgen -policy-matrix output naming.
+func withPolicy(path, policy string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + policy + ext
+}
+
+func loadPair(cfg repro.Config, rasP, jobP string) (*repro.Report, error) {
+	rf, err := os.Open(rasP)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	jf, err := os.Open(jobP)
+	if err != nil {
+		return nil, err
+	}
+	defer jf.Close()
+	return repro.Load(cfg, rf, jf)
 }
 
 func keys() string {

@@ -111,3 +111,65 @@ func TestKeysSortedAndComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestRunPolicyMatrixComparison(t *testing.T) {
+	dir := t.TempDir()
+	rasP := filepath.Join(dir, "ras.log")
+	jobP := filepath.Join(dir, "job.log")
+	runs, err := simulate.RunMatrix(simulate.Config{Seed: 5, Days: 10, NoisePerFatal: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		rf, err := os.Create(withPolicy(rasP, r.Policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jf, err := os.Create(withPolicy(jobP, r.Policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Campaign.WriteLogs(rf, jf); err != nil {
+			t.Fatal(err)
+		}
+		rf.Close()
+		jf.Close()
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-ras", rasP, "-job", jobP, "-policy-matrix"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Policy matrix:") {
+		t.Error("missing comparison table")
+	}
+	for _, r := range runs {
+		if !strings.Contains(s, r.Policy) {
+			t.Errorf("comparison missing policy %s", r.Policy)
+		}
+	}
+
+	// Interruption outcomes must differ measurably across policies: the
+	// Interruptions column cannot be a single repeated value.
+	counts := map[string]bool{}
+	for _, line := range strings.Split(s, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 3 {
+			for _, r := range runs {
+				if f[0] == r.Policy {
+					counts[f[2]] = true
+				}
+			}
+		}
+	}
+	if len(counts) < 2 {
+		t.Errorf("all policies show identical interruption counts:\n%s", s)
+	}
+
+	// No per-policy pairs next to the base paths -> a helpful error.
+	empty := t.TempDir()
+	if err := run([]string{"-ras", filepath.Join(empty, "ras.log"),
+		"-job", filepath.Join(empty, "job.log"), "-policy-matrix"}, &out, &errOut); err == nil {
+		t.Error("missing matrix logs accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package faultgen
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/errcat"
+)
+
+// Candidate is one pre-drawn fault-candidate event of the machine-wide
+// thinning envelope: everything the scheduler engine would otherwise
+// draw live at an evFaultCand — arrival time, target midplane, the
+// thinning uniform, and the code/repair draws used only if the
+// candidate is accepted. Pre-drawing the whole stream once lets a
+// policy matrix replay the identical ground-truth fault process against
+// every policy, no matter how many RNG draws each policy's own
+// decisions consume.
+type Candidate struct {
+	// At is the candidate's arrival time.
+	At time.Time
+	// Midplane is the candidate's target midplane.
+	Midplane int
+	// U is the thinning uniform compared against hazard/MaxHazard; the
+	// candidate fires iff U < hazard/MaxHazard at replay time (hazard
+	// still depends on live engine state: occupancy, wear, environment).
+	U float64
+	// Code is the system ERRCODE the occurrence carries if accepted.
+	Code errcat.Code
+	// Repair is the sticky-failure repair duration if Code is sticky.
+	Repair time.Duration
+}
+
+// Candidates pre-draws the full candidate stream for a campaign over
+// [start, end) from rng. It mirrors the engine's live loop: the first
+// candidate is always drawn, and each candidate whose arrival is still
+// before end draws a successor — so the stream ends with the first
+// candidate at or past end, exactly like the live event chain.
+func (m *Model) Candidates(rng *rand.Rand, start, end time.Time) []Candidate {
+	var out []Candidate
+	t := start.Add(m.DrawCandidateGap(rng))
+	for {
+		out = append(out, Candidate{
+			At:       t,
+			Midplane: rng.Intn(bgp.NumMidplanes),
+			U:        rng.Float64(),
+			Code:     m.DrawSystemCode(rng),
+			Repair:   m.DrawRepair(rng),
+		})
+		if !t.Before(end) {
+			return out
+		}
+		t = t.Add(m.DrawCandidateGap(rng))
+	}
+}

@@ -10,6 +10,7 @@ import (
 func TestDetrand(t *testing.T) {
 	linttest.Run(t, "testdata", detrand.Analyzer,
 		"internal/simulate", // restricted: fixture carries want expectations
+		"internal/sched",    // restricted: the policy-registry pattern
 		"plainpkg",          // unrestricted: same patterns, zero diagnostics
 	)
 }

@@ -1,0 +1,27 @@
+// Fixture for the detrand analyzer: the policy-registry pattern in
+// internal/sched. A Policy hook drawing from the process-global rand
+// (instead of the engine-provided, seed-derived generator threaded
+// through the Env) is a diagnostic; the Env-threaded draw is not.
+package sched
+
+import "math/rand"
+
+type partition struct{ Start, Size int }
+
+type env struct{ rng *rand.Rand }
+
+func (e env) RNG() *rand.Rand { return e.rng }
+
+type policyFunc func(e env, cands []partition) partition
+
+var registry = map[string]policyFunc{}
+
+func registerPolicy(name string, p policyFunc) { registry[name] = p }
+
+func badGlobalDrawPolicy(e env, cands []partition) partition {
+	return cands[rand.Intn(len(cands))] // want `process-global random source`
+}
+
+func goodEnvDrawPolicy(e env, cands []partition) partition {
+	return cands[e.RNG().Intn(len(cands))] // ok: engine-provided seeded RNG
+}

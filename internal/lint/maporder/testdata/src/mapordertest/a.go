@@ -113,3 +113,24 @@ func sortValuesInPlace(m map[string][]int) {
 		sort.Ints(vs) // ok: per-value mutation, no cross-iteration state
 	}
 }
+
+// The policy-registry pattern: iterating a name->constructor map into
+// an output slice must sort before the slice escapes.
+type policyCtor func() interface{}
+
+func registryNamesUnsorted(registry map[string]policyCtor) []string {
+	var names []string
+	for name := range registry {
+		names = append(names, name) // want `append to names inside map iteration`
+	}
+	return names
+}
+
+func registryNamesSorted(registry map[string]policyCtor) []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name) // ok: sorted right below
+	}
+	sort.Strings(names)
+	return names
+}

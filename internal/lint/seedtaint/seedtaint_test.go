@@ -11,6 +11,13 @@ func TestSeedtaint(t *testing.T) {
 	linttest.Run(t, "testdata", seedtaint.Analyzer, "seedtainttest")
 }
 
+// TestSeedtaintPolicyRegistry covers the sched policy-registry
+// pattern: a Policy constructing a private rand.New instead of drawing
+// from the engine-provided seeded RNG is flagged.
+func TestSeedtaintPolicyRegistry(t *testing.T) {
+	linttest.Run(t, "testdata", seedtaint.Analyzer, "policyreg")
+}
+
 // TestSinkFactExport checks the dependency fixture in isolation: its
 // forwarding constructor must export a SinkFact on its first parameter
 // (and report nothing, which linttest.Run on the importing fixture

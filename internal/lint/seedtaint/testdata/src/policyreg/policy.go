@@ -1,0 +1,43 @@
+// Fixture for the seedtaint analyzer: the sched policy-registry
+// pattern. A Policy must draw all randomness from the engine-provided,
+// seed-derived generator it is handed through its Env; a policy that
+// constructs a private rand.New from a literal or the wall clock
+// breaks the determinism contract and is flagged.
+package policyreg
+
+import (
+	"math/rand"
+	"time"
+)
+
+type env struct{ rng *rand.Rand }
+
+func (e env) RNG() *rand.Rand { return e.rng }
+
+type goodPolicy struct{}
+
+func (goodPolicy) place(e env, n int) int {
+	return e.RNG().Intn(n) // ok: the engine's seeded RNG
+}
+
+type rogueLiteralPolicy struct{}
+
+func (rogueLiteralPolicy) place(_ env, n int) int {
+	rng := rand.New(rand.NewSource(42)) // want `not derived from a Config\.Seed-style value`
+	return rng.Intn(n)
+}
+
+type rogueClockPolicy struct{}
+
+func (rogueClockPolicy) place(_ env, n int) int {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) // want `not derived from a Config\.Seed-style value`
+	return rng.Intn(n)
+}
+
+// seeded construction stays legal when the seed value is threaded in
+// from the engine configuration.
+type engineConfig struct{ Seed int64 }
+
+func newEngineRNG(cfg engineConfig) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}

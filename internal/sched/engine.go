@@ -114,13 +114,16 @@ type hold struct {
 	until time.Time
 }
 
-// engine is the discrete-event simulator.
+// engine is the discrete-event simulator: a policy-agnostic event loop
+// that owns simulated time, the fault stream and the ground truth, and
+// defers every scheduling decision to its Policy (see policy.go).
 type engine struct {
-	cfg   Config
-	model *faultgen.Model
-	emit  *faultgen.Emitter
-	execs []workload.ExecSpec
-	rng   *rand.Rand
+	cfg    Config
+	policy Policy
+	model  *faultgen.Model
+	emit   *faultgen.Emitter
+	execs  []workload.ExecSpec
+	rng    *rand.Rand
 
 	now   time.Time
 	start time.Time
@@ -128,10 +131,22 @@ type engine struct {
 	heap  eventHeap
 	seq   int64
 
+	// replay holds the pre-drawn fault-candidate stream of a
+	// counterfactual (matrix) run; nil means candidates are drawn live
+	// from rng, the byte-identical solo path.
+	replay    []faultgen.Candidate
+	replayIdx int
+
 	machine *bgp.Machine
 	mpOwner [bgp.NumMidplanes]*run
 	faulty  map[int]*faultState
 	genSeq  int64
+
+	// lastFatal tracks, per midplane, when the most recent FATAL
+	// record was emitted there — the RAS-derived signal the
+	// failure-aware policy consults through Env.LastFatal.
+	lastFatal    [bgp.NumMidplanes]time.Time
+	lastFatalSet [bgp.NumMidplanes]bool
 
 	queue    []*waiting
 	running  map[int64]*run
@@ -166,9 +181,14 @@ func Run(cfg Config, gen *workload.Generator, model *faultgen.Model, emitCfg fau
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
+	policy, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
 	spec := gen.Spec()
 	e := &engine{
 		cfg:      cfg,
+		policy:   policy,
 		model:    model,
 		emit:     faultgen.NewEmitter(emitCfg, cfg.Seed^0x5eed),
 		execs:    gen.Executables(),
@@ -181,6 +201,7 @@ func Run(cfg Config, gen *workload.Generator, model *faultgen.Model, emitCfg fau
 		nextID:   1,
 		bugCount: make(map[int]int),
 		held:     make(map[int]hold),
+		replay:   cfg.Candidates,
 	}
 	e.truth.Outcomes = make(map[int64]Outcome)
 	e.envMult = model.EnvMultipliers(e.rng, spec.Days+30)
@@ -188,7 +209,16 @@ func Run(cfg Config, gen *workload.Generator, model *faultgen.Model, emitCfg fau
 	for _, s := range gen.Submissions() {
 		e.push(&event{at: s.At, kind: evSubmit, exec: s.Exec, runtime: s.Runtime})
 	}
-	e.push(&event{at: e.start.Add(e.model.DrawCandidateGap(e.rng)), kind: evFaultCand})
+	if e.replay != nil {
+		// Counterfactual mode: the fault-candidate stream was pre-drawn
+		// once (see faultgen.Model.Candidates) and is replayed verbatim,
+		// so every policy in a matrix faces the identical candidates.
+		if len(e.replay) > 0 {
+			e.push(&event{at: e.replay[0].At, kind: evFaultCand})
+		}
+	} else {
+		e.push(&event{at: e.start.Add(e.model.DrawCandidateGap(e.rng)), kind: evFaultCand})
+	}
 
 	for e.heap.Len() > 0 {
 		ev := heap.Pop(&e.heap).(*event)
@@ -246,39 +276,57 @@ func (e *engine) onSubmit(ev *event) {
 	e.trySchedule()
 }
 
-// reserveWindow picks the aligned window for a starving wide job,
-// minimizing the longest remaining occupant runtime and preferring the
-// wide region.
-func (e *engine) reserveWindow(size int) bgp.Partition {
-	align := size
-	if size == 48 || size == 80 {
-		align = 16
+// --- Env: the read-only engine view handed to policies ---
+
+// Now returns the current simulated time.
+func (e *engine) Now() time.Time { return e.now }
+
+// RNG returns the engine's seed-derived generator.
+func (e *engine) RNG() *rand.Rand { return e.rng }
+
+// SchedConfig returns the scheduler configuration.
+func (e *engine) SchedConfig() Config { return e.cfg }
+
+// ExecSize returns the width of executable exec.
+func (e *engine) ExecSize(exec int) int { return e.execs[exec].Size }
+
+// Faulty reports whether midplane mp has a sticky, unrepaired failure.
+func (e *engine) Faulty(mp int) bool {
+	_, ok := e.faulty[mp]
+	return ok
+}
+
+// LastFatal returns when the most recent FATAL record was emitted on
+// midplane mp.
+func (e *engine) LastFatal(mp int) (time.Time, bool) {
+	return e.lastFatal[mp], e.lastFatalSet[mp]
+}
+
+// Remaining returns how long midplane mp stays occupied by its current
+// run: remaining runtime for started runs, runtime plus mean boot
+// delay for booting ones, zero when idle.
+func (e *engine) Remaining(mp int) time.Duration {
+	r := e.mpOwner[mp]
+	if r == nil {
+		return 0
 	}
-	best := bgp.Partition{Start: 0, Size: size}
-	bestScore := time.Duration(-1)
-	bestOv := -1
-	for start := 0; start+size <= bgp.NumMidplanes; start += align {
-		p := bgp.Partition{Start: start, Size: size}
-		var worst time.Duration
-		for mp := p.Start; mp < p.End(); mp++ {
-			if r := e.mpOwner[mp]; r != nil {
-				var rem time.Duration
-				if r.started {
-					rem = r.startT.Add(r.runtime).Sub(e.now)
-				} else {
-					rem = r.runtime + e.cfg.BootDelay
-				}
-				if rem > worst {
-					worst = rem
-				}
-			}
-		}
-		ov := overlap(p, wideRegionLo, wideRegionHi)
-		if bestScore < 0 || worst < bestScore || (worst == bestScore && ov > bestOv) {
-			best, bestScore, bestOv = p, worst, ov
-		}
+	if !r.started {
+		return r.runtime + e.cfg.BootDelay
 	}
-	return best
+	rem := r.startT.Add(r.runtime).Sub(e.now)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// noteFatal records a FATAL emission on the given midplanes for the
+// Env.LastFatal signal; call it alongside every emit.EmitFault.
+func (e *engine) noteFatal(mps []int) {
+	for _, mp := range mps {
+		e.lastFatal[mp] = e.now
+		e.lastFatalSet[mp] = true
+	}
 }
 
 // reserveAfter is how long a wide job waits before the scheduler starts
@@ -286,13 +334,17 @@ func (e *engine) reserveWindow(size int) bgp.Partition {
 const reserveAfter = 15 * time.Minute
 
 func (e *engine) trySchedule() {
+	// The policy decides the order this pass considers jobs in (FIFO
+	// for the default).
+	e.policy.Order(e, e.queue)
+
 	// Maintain at most one drain reservation, for the oldest starving
 	// wide job.
 	if e.reserver == nil {
 		for _, w := range e.queue {
 			if e.execs[w.exec].Size >= 32 && e.now.Sub(w.queueT) > reserveAfter {
 				e.reserver = w
-				e.reservePart = e.reserveWindow(e.execs[w.exec].Size)
+				e.reservePart = e.policy.ReserveWindow(e, e.execs[w.exec].Size)
 				for mp := e.reservePart.Start; mp < e.reservePart.End(); mp++ {
 					e.reserved[mp] = true
 				}
@@ -344,7 +396,7 @@ func (e *engine) placeFor(w *waiting, failedSize map[int]bool) (bgp.Partition, b
 			avail = append(avail, c)
 		}
 	}
-	p, ok := pickByPolicy(avail, e.rng, size)
+	p, ok := e.policy.Place(e, avail, size)
 	if !ok {
 		failedSize[size] = true
 	}
@@ -394,8 +446,7 @@ func (e *engine) startRun(w *waiting, part bgp.Partition) {
 		e.mpOwner[mp] = r
 		delete(e.held, mp) // the hold (if any) is consumed or overridden
 	}
-	boot := time.Duration((0.5 + e.rng.Float64()) * float64(e.cfg.BootDelay))
-	e.push(&event{at: e.now.Add(boot), kind: evStart, runID: r.runID})
+	e.push(&event{at: e.now.Add(e.policy.BootDelay(e)), kind: evStart, runID: r.runID})
 }
 
 func (e *engine) onStart(ev *event) {
@@ -477,7 +528,9 @@ func (e *engine) onKill(ev *event) {
 		Time: e.now, Code: ev.code, Midplane: ev.mp,
 		InterruptedJobs: []int64{r.jobID}, Redundant: redundant,
 	}
-	e.emit.EmitFault(e.now, ev.code, originFirst(r.part, ev.mp))
+	mps := originFirst(r.part, ev.mp)
+	e.emit.EmitFault(e.now, ev.code, mps)
+	e.noteFatal(mps)
 	e.killJob(r, e.now, ev.code)
 
 	if !ev.isBug {
@@ -489,7 +542,9 @@ func (e *engine) onKill(ev *event) {
 	if ev.code.Shared && e.rng.Float64() < e.cfg.SharedVictimProb {
 		victims := e.pickVictims(r.runID)
 		for _, v := range victims {
-			e.emit.EmitFault(e.now, ev.code, v.part.Midplanes())
+			vmps := v.part.Midplanes()
+			e.emit.EmitFault(e.now, ev.code, vmps)
+			e.noteFatal(vmps)
 			e.killJob(v, e.now, ev.code)
 			gf.InterruptedJobs = append(gf.InterruptedJobs, v.jobID)
 		}
@@ -535,11 +590,11 @@ func (e *engine) killJob(r *run, at time.Time, code errcat.Code) {
 		return
 	}
 	resubAt := at.Add(workload.ResubmitDelay(e.rng))
-	// Partition affinity is decided once per interruption: with
-	// probability SamePartitionProb the freed partition is held for the
-	// resubmission (Cobalt's per-partition queue affinity); otherwise
-	// the resubmission goes wherever the policy sends it.
-	affinity := e.rng.Float64() < e.cfg.SamePartitionProb
+	// Partition affinity is decided once per interruption: the policy
+	// chooses whether the freed partition is held for the resubmission
+	// (Cobalt's per-partition queue affinity); otherwise the
+	// resubmission goes wherever the policy sends it.
+	affinity := e.policy.ResubmitAffinity(e, r.part)
 	e.push(&event{
 		at: resubAt, kind: evSubmit,
 		exec: r.exec, runtime: r.runtime,
@@ -567,12 +622,9 @@ func (e *engine) adminAccelerate(mp int) {
 	if rem <= 0 {
 		return
 	}
-	fs.repairAt = e.now.Add(time.Duration(float64(rem) * e.cfg.adminAccel(e.model)))
+	fs.repairAt = e.now.Add(time.Duration(float64(rem) * e.model.AdminAccel))
 	e.push(&event{at: fs.repairAt, kind: evRepair, mp: mp, repairGen: fs.gen})
 }
-
-// adminAccel reads the acceleration factor off the fault model.
-func (c Config) adminAccel(m *faultgen.Model) float64 { return m.AdminAccel }
 
 func (e *engine) finish(r *run, at time.Time, o Outcome) {
 	r.done = true
@@ -601,17 +653,47 @@ func (e *engine) finish(r *run, at time.Time, o Outcome) {
 }
 
 func (e *engine) onFaultCandidate() {
-	if e.now.Before(e.end) {
+	// A candidate carries (At, Midplane, U, Code, Repair). In the solo
+	// path those are drawn live from the engine RNG in the historical
+	// order (gap, midplane, uniform, then code/repair only if accepted)
+	// — byte-identical to the pre-refactor engine. In replay mode the
+	// next pre-drawn candidate is consumed instead, so every policy in
+	// a matrix faces the identical fault-candidate stream regardless of
+	// how many RNG draws its own decisions consume.
+	var cand *faultgen.Candidate
+	if e.replay != nil {
+		cand = &e.replay[e.replayIdx]
+		e.replayIdx++
+		if e.replayIdx < len(e.replay) {
+			e.push(&event{at: e.replay[e.replayIdx].At, kind: evFaultCand})
+		}
+	} else if e.now.Before(e.end) {
 		e.push(&event{at: e.now.Add(e.model.DrawCandidateGap(e.rng)), kind: evFaultCand})
 	}
-	mp := e.rng.Intn(bgp.NumMidplanes)
+	var mp int
+	if cand != nil {
+		mp = cand.Midplane
+	} else {
+		mp = e.rng.Intn(bgp.NumMidplanes)
+	}
 	owner := e.mpOwner[mp]
 	hostsWide := owner != nil && owner.part.Size >= e.model.WideSize
 	hazard := e.model.HazardAt(mp, hostsWide, e.exposure(mp, e.now)) * e.envAt(e.now)
-	if e.rng.Float64() >= hazard/e.model.MaxHazard() {
+	var u float64
+	if cand != nil {
+		u = cand.U
+	} else {
+		u = e.rng.Float64()
+	}
+	if u >= hazard/e.model.MaxHazard() {
 		return
 	}
-	code := e.model.DrawSystemCode(e.rng)
+	var code errcat.Code
+	if cand != nil {
+		code = cand.Code
+	} else {
+		code = e.model.DrawSystemCode(e.rng)
+	}
 	victim := owner
 	victimRunning := victim != nil && victim.started && !victim.done
 
@@ -621,13 +703,20 @@ func (e *engine) onFaultCandidate() {
 			Time: e.now, Code: code, Midplane: mp, Idle: !victimRunning,
 		})
 		e.emit.EmitFault(e.now, code, []int{mp})
+		e.noteFatal([]int{mp})
 		return
 	}
 
 	if code.Sticky {
 		if _, already := e.faulty[mp]; !already {
 			e.genSeq++
-			fs := &faultState{code: code, gen: e.genSeq, repairAt: e.now.Add(e.model.DrawRepair(e.rng))}
+			var repair time.Duration
+			if cand != nil {
+				repair = cand.Repair
+			} else {
+				repair = e.model.DrawRepair(e.rng)
+			}
+			fs := &faultState{code: code, gen: e.genSeq, repairAt: e.now.Add(repair)}
 			e.faulty[mp] = fs
 			e.push(&event{at: fs.repairAt, kind: evRepair, mp: mp, repairGen: fs.gen})
 		}
@@ -637,11 +726,14 @@ func (e *engine) onFaultCandidate() {
 	if victimRunning {
 		killAt := e.now.Add(faultgen.DetectionDelay(e.rng))
 		gf.InterruptedJobs = []int64{victim.jobID}
-		e.emit.EmitFault(e.now, code, originFirst(victim.part, mp))
+		vmps := originFirst(victim.part, mp)
+		e.emit.EmitFault(e.now, code, vmps)
+		e.noteFatal(vmps)
 		e.killJob(victim, killAt, code)
 		e.trySchedule()
 	} else {
 		e.emit.EmitFault(e.now, code, []int{mp})
+		e.noteFatal([]int{mp})
 	}
 	e.truth.Faults = append(e.truth.Faults, gf)
 }

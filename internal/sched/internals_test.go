@@ -134,13 +134,13 @@ func TestReserveWindowPrefersShortRemaining(t *testing.T) {
 	for mp := 0; mp < 32; mp++ {
 		e.mpOwner[mp] = short
 	}
-	win := e.reserveWindow(32)
+	win := reserveIntrepid(e, 32)
 	if win.Start != 0 {
 		t.Errorf("reserveWindow picked start %d, want 0 (shortest remaining occupant)", win.Start)
 	}
 	// On an empty machine the wide region wins the tie.
 	e2 := testEngine(t)
-	win = e2.reserveWindow(32)
+	win = reserveIntrepid(e2, 32)
 	if win.Start != 32 {
 		t.Errorf("empty-machine reservation start %d, want 32 (wide region)", win.Start)
 	}

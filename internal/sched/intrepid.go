@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Placement policy: Intrepid steered small jobs to the outer midplanes
+// (65–80 in the paper's 1-indexed numbering, plus short jobs on
+// midplanes 1–2) and reserved the middle of the machine for wide
+// capability jobs. The result is the inconsistent per-midplane workload
+// the paper documents in Figure 4: raw workload peaks where small jobs
+// run, while wide-job workload — and with it the fatal-event count —
+// concentrates on midplanes 33–64 (0-indexed 32–63).
+const (
+	wideRegionLo = 32
+	wideRegionHi = 64
+	smallRegion  = 64 // small jobs prefer [64, 80)
+	shortRegion  = 4  // and the first two racks [0, 4)
+)
+
+func init() {
+	RegisterPolicy(DefaultPolicy, func() Policy { return intrepidPolicy{} })
+}
+
+// intrepidPolicy is the paper-documented Intrepid allocation behaviour
+// — the golden-checked default. Every hook reproduces the pre-refactor
+// engine byte for byte: identical placement choices and an identical
+// RNG draw sequence.
+type intrepidPolicy struct{}
+
+func (intrepidPolicy) Name() string { return DefaultPolicy }
+
+// Order is FIFO: Cobalt considered jobs in arrival order.
+func (intrepidPolicy) Order(Env, []*waiting) {}
+
+// Place applies the region policy to the (already filtered) free
+// candidates for a job of the given width.
+func (intrepidPolicy) Place(env Env, cands []bgp.Partition, size int) (bgp.Partition, bool) {
+	return placeIntrepid(env, cands, size)
+}
+
+// placeIntrepid is the shared region-policy placement; failure-aware
+// reuses it over a filtered candidate list.
+func placeIntrepid(env Env, cands []bgp.Partition, size int) (bgp.Partition, bool) {
+	if len(cands) == 0 {
+		return bgp.Partition{}, false
+	}
+	switch {
+	case size >= 32:
+		// Maximize overlap with the wide region; ties to the highest
+		// start so 48/64-wide blocks sit over [32, 64).
+		best := cands[0]
+		bestOv := -1
+		for _, c := range cands {
+			ov := overlap(c, wideRegionLo, wideRegionHi)
+			if ov > bestOv || (ov == bestOv && c.Start > best.Start) {
+				best, bestOv = c, ov
+			}
+		}
+		return best, true
+	case size <= 2:
+		// Small jobs are confined to the outer small-job region and the
+		// first two racks; when both are full they wait rather than
+		// fragment the mid-machine (Cobalt's partition queues bind small
+		// jobs to small named partitions). The pick within a region is
+		// randomized — Cobalt walks its partition list in a
+		// configuration order that is effectively arbitrary.
+		if p, ok := randIn(cands, env.RNG(), func(c bgp.Partition) bool { return c.Start >= smallRegion }); ok {
+			return p, true
+		}
+		if p, ok := randIn(cands, env.RNG(), func(c bgp.Partition) bool { return c.End() <= shortRegion }); ok {
+			return p, true
+		}
+		return bgp.Partition{}, false
+	default:
+		// Mid-size jobs fill the lower-middle of the machine first and
+		// enter the wide region only as a last resort.
+		if p, ok := randIn(cands, env.RNG(), func(c bgp.Partition) bool { return c.End() <= wideRegionLo }); ok {
+			return p, true
+		}
+		return cands[0], true
+	}
+}
+
+// ReserveWindow picks the aligned window for a starving wide job,
+// minimizing the longest remaining occupant runtime and preferring the
+// wide region.
+func (intrepidPolicy) ReserveWindow(env Env, size int) bgp.Partition {
+	return reserveIntrepid(env, size)
+}
+
+// reserveIntrepid is the shared drain-window choice; the counterfactual
+// policies inherit it so the drain mechanism itself stays fixed across
+// the zoo and only placement skew varies.
+func reserveIntrepid(env Env, size int) bgp.Partition {
+	align := size
+	if size == 48 || size == 80 {
+		align = 16
+	}
+	best := bgp.Partition{Start: 0, Size: size}
+	bestScore := time.Duration(-1)
+	bestOv := -1
+	for start := 0; start+size <= bgp.NumMidplanes; start += align {
+		p := bgp.Partition{Start: start, Size: size}
+		var worst time.Duration
+		for mp := p.Start; mp < p.End(); mp++ {
+			if rem := env.Remaining(mp); rem > worst {
+				worst = rem
+			}
+		}
+		ov := overlap(p, wideRegionLo, wideRegionHi)
+		if bestScore < 0 || worst < bestScore || (worst == bestScore && ov > bestOv) {
+			best, bestScore, bestOv = p, worst, ov
+		}
+	}
+	return best
+}
+
+// BootDelay models reboot-before-execution: uniform in [0.5, 1.5] ×
+// the configured mean.
+func (intrepidPolicy) BootDelay(env Env) time.Duration {
+	return bootUniform(env)
+}
+
+// bootUniform is the shared reboot draw — one RNG draw per started
+// run, common to every registered policy so boot-time noise stays
+// comparable across the zoo.
+func bootUniform(env Env) time.Duration {
+	return time.Duration((0.5 + env.RNG().Float64()) * float64(env.SchedConfig().BootDelay))
+}
+
+// ResubmitAffinity draws Cobalt's per-partition queue affinity: with
+// probability SamePartitionProb the freed partition is held for the
+// resubmission.
+func (intrepidPolicy) ResubmitAffinity(env Env, prev bgp.Partition) bool {
+	return env.RNG().Float64() < env.SchedConfig().SamePartitionProb
+}

@@ -42,6 +42,15 @@ type Config struct {
 	SharedVictimProb float64
 	// SharedVictimMax bounds the number of extra victims.
 	SharedVictimMax int
+	// Policy names the registered scheduling policy to run; empty means
+	// DefaultPolicy (the paper's Intrepid behaviour).
+	Policy string
+	// Candidates, when non-nil, replays a pre-drawn fault-candidate
+	// stream (see faultgen.Model.Candidates) instead of drawing
+	// candidates live from the engine RNG. Matrix runs use this to face
+	// every policy with the identical ground-truth fault stream; nil
+	// keeps the byte-identical solo path.
+	Candidates []faultgen.Candidate
 }
 
 // DefaultConfig returns the Intrepid-like scheduler configuration.
@@ -73,6 +82,11 @@ func (c Config) Validate() error {
 	}
 	if c.MaxChainResubmits < 0 || c.SharedVictimMax < 0 {
 		return fmt.Errorf("sched: negative cap")
+	}
+	if c.Policy != "" {
+		if _, ok := registry[c.Policy]; !ok {
+			return fmt.Errorf("sched: unknown policy %q (registered: %v)", c.Policy, PolicyNames())
+		}
 	}
 	return nil
 }

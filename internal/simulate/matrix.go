@@ -1,0 +1,86 @@
+package simulate
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/errcat"
+	"repro/internal/faultgen"
+	"repro/internal/parallel"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// matrixSalt decorrelates the pre-drawn matrix candidate stream from
+// the per-campaign engine RNG (which is seeded with cfg.Seed itself).
+const matrixSalt = 0x6d617472 // "matr"
+
+// PolicyRun pairs one registered policy with its campaign from a
+// matrix run.
+type PolicyRun struct {
+	// Policy is the sched registry name.
+	Policy string
+	// Campaign is the full simulated campaign under that policy.
+	Campaign *Campaign
+}
+
+// MatrixCandidates pre-draws the shared ground-truth fault-candidate
+// stream a policy matrix replays: one stream per (seed, model,
+// horizon), derived from cfg.Seed via matrixSalt so it does not alias
+// the engine's own draw sequence.
+func MatrixCandidates(cfg Config) ([]faultgen.Candidate, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("simulate: non-positive days %d", cfg.Days)
+	}
+	model := faultgen.DefaultModel(errcat.Intrepid())
+	if cfg.Model != nil {
+		model = cfg.Model
+	}
+	wspec := workload.DefaultSpec(cfg.Seed, 1)
+	if cfg.Workload != nil {
+		wspec = *cfg.Workload
+	}
+	start := wspec.Start
+	end := start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ matrixSalt))
+	return model.Candidates(rng, start, end), nil
+}
+
+// RunMatrix simulates one campaign per registered policy — every
+// policy fed the identical workload and the identical pre-drawn
+// ground-truth fault-candidate stream — fanning the runs out over the
+// worker pool (workers: 0 = GOMAXPROCS, 1 = sequential). Results are
+// in sorted policy-name order regardless of which worker finished
+// first, and each campaign is byte-identical whether the matrix runs
+// sequentially or in parallel: every campaign draws only from its own
+// seeded generators, and the shared candidate slice is read-only.
+//
+// Note the matrix intentionally runs every policy — the default
+// included — in replay mode, so even the intrepid column differs from
+// a solo Run (which draws its candidates live); the solo path is the
+// byte-identical golden one.
+func RunMatrix(cfg Config, workers int) ([]PolicyRun, error) {
+	cands, err := MatrixCandidates(cfg)
+	if err != nil {
+		return nil, err
+	}
+	names := sched.PolicyNames()
+	return parallel.Map(context.Background(), workers, len(names), func(i int) (PolicyRun, error) {
+		c := cfg
+		scfg := sched.DefaultConfig(cfg.Seed)
+		if cfg.Sched != nil {
+			scfg = *cfg.Sched
+		}
+		scfg.Policy = names[i]
+		scfg.Candidates = cands
+		c.Sched = &scfg
+		c.Policy = ""
+		camp, err := Run(c)
+		if err != nil {
+			return PolicyRun{}, fmt.Errorf("policy %s: %w", names[i], err)
+		}
+		return PolicyRun{Policy: names[i], Campaign: camp}, nil
+	})
+}

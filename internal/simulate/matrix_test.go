@@ -1,0 +1,132 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/errcat"
+	"repro/internal/faultgen"
+	"repro/internal/sched"
+)
+
+// matrixConfig is a short, fault-rich campaign for matrix tests.
+func matrixConfig(seed int64) Config {
+	model := faultgen.DefaultModel(errcat.Intrepid())
+	model.BaseRate *= 6
+	return Config{Seed: seed, Days: 7, NoisePerFatal: 1, Model: model}
+}
+
+func TestRunMatrixCoversRegistry(t *testing.T) {
+	runs, err := RunMatrix(matrixConfig(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sched.PolicyNames()
+	if len(runs) != len(names) {
+		t.Fatalf("matrix has %d runs, registry %d policies", len(runs), len(names))
+	}
+	for i, r := range runs {
+		if r.Policy != names[i] {
+			t.Errorf("run %d is %q, want %q (sorted registry order)", i, r.Policy, names[i])
+		}
+		if r.Campaign == nil || r.Campaign.Jobs.Len() == 0 || r.Campaign.RAS.Len() == 0 {
+			t.Fatalf("policy %s: empty campaign", r.Policy)
+		}
+	}
+}
+
+// TestRunMatrixSeqParallelEquivalence requires each policy's campaign
+// to be byte-identical whether the matrix fans out or runs one policy
+// at a time — the parallel pool must not leak into any draw sequence.
+func TestRunMatrixSeqParallelEquivalence(t *testing.T) {
+	cfg := matrixConfig(2)
+	seq, err := RunMatrix(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunMatrix(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i].Campaign.Result, par[i].Campaign.Result
+		if seq[i].Policy != par[i].Policy {
+			t.Fatalf("order differs at %d: %s vs %s", i, seq[i].Policy, par[i].Policy)
+		}
+		if len(a.Jobs) != len(b.Jobs) || len(a.Records) != len(b.Records) {
+			t.Fatalf("policy %s: sizes differ", seq[i].Policy)
+		}
+		for k := range a.Jobs {
+			if a.Jobs[k] != b.Jobs[k] {
+				t.Fatalf("policy %s: job %d differs seq vs parallel", seq[i].Policy, k)
+			}
+		}
+		for k := range a.Records {
+			if a.Records[k] != b.Records[k] {
+				t.Fatalf("policy %s: record %d differs seq vs parallel", seq[i].Policy, k)
+			}
+		}
+	}
+}
+
+// TestRunMatrixSharedStreamDiverges checks the matrix's reason to
+// exist: identical workload + identical fault-candidate stream, yet
+// the policies produce different interruption outcomes.
+func TestRunMatrixSharedStreamDiverges(t *testing.T) {
+	runs, err := RunMatrix(matrixConfig(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[int]bool{}
+	for _, r := range runs {
+		n := len(r.Campaign.Result.Truth.InterruptedJobs())
+		if n == 0 {
+			t.Fatalf("policy %s: no interruptions", r.Policy)
+		}
+		distinct[n] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all policies produced identical interruption counts on the shared stream")
+	}
+}
+
+func TestMatrixCandidatesStable(t *testing.T) {
+	cfg := matrixConfig(4)
+	a, err := MatrixCandidates(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MatrixCandidates(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("unstable candidate stream: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+	if _, err := MatrixCandidates(Config{Seed: 1, Days: 0}); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestConfigPolicyThreading(t *testing.T) {
+	cfg := matrixConfig(5)
+	cfg.Policy = "first-fit"
+	camp, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Jobs.Len() == 0 {
+		t.Fatal("empty campaign")
+	}
+	cfg.Policy = "no-such-policy"
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

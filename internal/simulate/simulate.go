@@ -27,6 +27,10 @@ type Config struct {
 	// ratio is ~62 non-fatal records per fatal record. Lower it for
 	// fast tests.
 	NoisePerFatal float64
+	// Policy names the scheduling policy to simulate under (see
+	// sched.PolicyNames); empty means the paper's Intrepid default. It
+	// is applied on top of any Sched override.
+	Policy string
 	// Workload, Sched and Model allow overriding individual knobs; when
 	// nil/zero they default to the Intrepid-like settings.
 	Workload *workload.Spec
@@ -72,6 +76,9 @@ func Run(cfg Config) (*Campaign, error) {
 	scfg := sched.DefaultConfig(cfg.Seed)
 	if cfg.Sched != nil {
 		scfg = *cfg.Sched
+	}
+	if cfg.Policy != "" {
+		scfg.Policy = cfg.Policy
 	}
 	model := faultgen.DefaultModel(cat)
 	if cfg.Model != nil {

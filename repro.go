@@ -50,6 +50,10 @@ type Config struct {
 	// Seeds is the number of campaigns RunEnsemble simulates, at seeds
 	// Seed, Seed+1, ..., Seed+Seeds-1 (0 or 1 means a single campaign).
 	Seeds int
+	// Policy names the scheduling policy the campaign simulates under
+	// (see sched.PolicyNames); empty means the paper's Intrepid default,
+	// whose output is pinned byte-identical by the goldens.
+	Policy string
 }
 
 // DefaultConfig returns the full-scale, paper-equivalent configuration.
@@ -125,6 +129,7 @@ func simConfig(cfg Config) simulate.Config {
 		Seed:          cfg.Seed,
 		Days:          cfg.Days,
 		NoisePerFatal: cfg.NoisePerFatal,
+		Policy:        cfg.Policy,
 	}
 }
 

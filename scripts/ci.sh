@@ -122,6 +122,9 @@ GOMAXPROCS=$NP go test -race ./...
 echo "== bgpd smoke (end-to-end daemon golden diff)"
 ./scripts/smoke_bgpd.sh
 
+echo "== policy smoke (matrix digests + cross-policy comparison)"
+./scripts/smoke_policies.sh
+
 echo "== membound (bounded-memory spill/merge equivalence)"
 ./scripts/membound.sh
 

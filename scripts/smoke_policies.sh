@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Policy-matrix end-to-end smoke: run bgpgen -policy-matrix with the
+# exact campaign the digest golden pins, checksum every per-policy log
+# against cmd/bgpgen/testdata/policy_digests.txt, prove the default
+# policy is byte-identical to an explicit -policy=intrepid run, and
+# sanity-check the coanalyze cross-policy comparison (every policy
+# listed, interruption outcomes not all equal). The campaign parameters
+# are parsed back out of the golden's "# params:" header so this script
+# and the Go digest test can never drift. Run with -update to
+# regenerate the golden after an intentional output change (review the
+# diff like code).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+manifest=cmd/bgpgen/testdata/policy_digests.txt
+
+if [ "${1:-}" = "-update" ]; then
+	go test ./cmd/bgpgen -run TestPolicyMatrixDigests -update >/dev/null
+	echo "updated $manifest"
+fi
+
+params=$(sed -n 's/^# params: //p' "$manifest")
+[ -n "$params" ] || { echo "smoke: no '# params:' header in $manifest" >&2; exit 1; }
+policies=$(sed -n 's/^[0-9a-f]*  ras\.\(.*\)\.log$/\1/p' "$manifest")
+[ -n "$policies" ] || { echo "smoke: no ras.<policy>.log digests in $manifest" >&2; exit 1; }
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== build"
+go build -o "$tmp/bgpgen" ./cmd/bgpgen
+go build -o "$tmp/coanalyze" ./cmd/coanalyze
+
+echo "== policy matrix ($params)"
+# shellcheck disable=SC2086
+"$tmp/bgpgen" $params -policy-matrix -ras "$tmp/ras.log" -job "$tmp/job.log"
+
+echo "== per-policy digests vs $manifest"
+(cd "$tmp" && grep -v '^#' "$OLDPWD/$manifest" | sha256sum -c --quiet) ||
+	{ echo "smoke: per-policy logs diverge from $manifest (run with -update if intentional)" >&2; exit 1; }
+
+echo "== default policy is byte-identical to explicit -policy=intrepid"
+# shellcheck disable=SC2086
+"$tmp/bgpgen" $params -ras "$tmp/ras.default.log" -job "$tmp/job.default.log"
+# shellcheck disable=SC2086
+"$tmp/bgpgen" $params -policy intrepid -ras "$tmp/ras.explicit.log" -job "$tmp/job.explicit.log"
+cmp "$tmp/ras.default.log" "$tmp/ras.explicit.log"
+cmp "$tmp/job.default.log" "$tmp/job.explicit.log"
+
+echo "== cross-policy comparison"
+"$tmp/coanalyze" -ras "$tmp/ras.log" -job "$tmp/job.log" -policy-matrix >"$tmp/matrix.out"
+for p in $policies; do
+	grep -q "^$p " "$tmp/matrix.out" ||
+		{ echo "smoke: comparison missing policy $p" >&2; cat "$tmp/matrix.out" >&2; exit 1; }
+done
+# Interruption outcomes must differ measurably on the shared fault
+# stream; a single repeated value means the policies are not actually
+# being exercised.
+distinct=$(for p in $policies; do
+	awk -v p="$p" '$1 == p { print $3 }' "$tmp/matrix.out"
+done | sort -u | wc -l)
+if [ "$distinct" -lt 2 ]; then
+	echo "smoke: all policies report identical interruption counts" >&2
+	cat "$tmp/matrix.out" >&2
+	exit 1
+fi
+
+echo "policy smoke OK"
